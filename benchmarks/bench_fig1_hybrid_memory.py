@@ -1,0 +1,61 @@
+"""Figure 1: hybrid SPM+cache hierarchy vs cache-only on a 64-core chip.
+
+Paper: *"the proposed system achieves significant speedups in terms of
+performance, energy and NoC traffic for several NAS benchmarks.  Average
+improvements reach 14.7%, 18.5% and 31.2%, respectively. [...] Even for
+benchmarks with minimal accesses to the SPM (as in the case of EP),
+performance, energy consumption and NoC traffic are not degraded."*
+"""
+
+import pytest
+
+from repro.apps.nas import NAS_BENCHMARKS, fig1_speedups
+
+from conftest import banner, table
+
+N_CORES = 64
+ACCESSES_PER_CORE = 1200
+
+PAPER_AVG = {"time": 1.147, "energy": 1.185, "noc": 1.312}
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    return fig1_speedups(n_cores=N_CORES, accesses_per_core=ACCESSES_PER_CORE)
+
+
+def test_fig1_hybrid_memory(benchmark, speedups):
+    benchmark.pedantic(
+        fig1_speedups,
+        kwargs=dict(n_cores=16, accesses_per_core=600),
+        rounds=1,
+        iterations=1,
+    )
+
+    banner(
+        f"Figure 1 — hybrid memory hierarchy speedups over cache-only "
+        f"({N_CORES} cores)"
+    )
+    rows = []
+    for b in list(NAS_BENCHMARKS) + ["AVG"]:
+        v = speedups[b]
+        rows.append(
+            [b, f"{v['time']:.3f}", f"{v['energy']:.3f}", f"{v['noc']:.3f}"]
+        )
+    rows.append(
+        ["paper AVG", f"{PAPER_AVG['time']:.3f}", f"{PAPER_AVG['energy']:.3f}",
+         f"{PAPER_AVG['noc']:.3f}"]
+    )
+    table(["benchmark", "exec time", "energy", "NoC traffic"], rows)
+
+    avg = speedups["AVG"]
+    # Shape assertions: hybrid wins all three on average, NoC the most,
+    # EP neutral, no benchmark degraded.
+    assert avg["time"] > 1.08
+    assert avg["energy"] > 1.08
+    assert avg["noc"] > 1.20
+    assert avg["noc"] == max(avg.values())
+    assert speedups["EP"]["time"] == pytest.approx(1.0, abs=0.1)
+    for b in NAS_BENCHMARKS:
+        for metric in ("time", "energy", "noc"):
+            assert speedups[b][metric] >= 0.95, (b, metric)

@@ -1,0 +1,80 @@
+"""Figure 2 / Section 3.1: criticality-aware DVFS through the RSU.
+
+Paper: *"task criticality can be simply annotated by the programmer and
+exploited to reconfigure the hardware by using DVFS, achieving
+improvements over static scheduling approaches that reach 6.6% and 20.0%
+in terms of performance and EDP on a simulated 32-core processor"*, and
+*"the cost of reconfiguring the hardware with a software-only solution
+rises with the number of cores due to locks contention and
+reconfiguration overhead"*.
+"""
+
+import pytest
+
+from repro.apps.rsu_experiment import (
+    fig2_experiment,
+    reconfiguration_overhead_sweep,
+)
+
+from conftest import banner, table
+
+PAPER_PERF = 0.066
+PAPER_EDP = 0.200
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2_experiment(n_cores=32)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return reconfiguration_overhead_sweep(core_counts=(4, 8, 16, 32, 64))
+
+
+def test_fig2_criticality_aware_dvfs(benchmark, result):
+    benchmark.pedantic(fig2_experiment, kwargs=dict(n_cores=32), rounds=1,
+                       iterations=1)
+
+    banner("Section 3.1 — criticality-aware DVFS vs static (32 cores)")
+    table(
+        ["metric", "measured", "paper"],
+        [
+            ["performance improvement",
+             f"{result.performance_improvement:.1%}", f"{PAPER_PERF:.1%}"],
+            ["EDP improvement",
+             f"{result.edp_improvement:.1%}", f"{PAPER_EDP:.1%}"],
+            ["static makespan (s)", f"{result.static_makespan:.2f}", "-"],
+            ["aware makespan (s)", f"{result.aware_makespan:.2f}", "-"],
+        ],
+    )
+    assert 0.03 <= result.performance_improvement <= 0.12
+    assert 0.12 <= result.edp_improvement <= 0.32
+
+
+def test_fig2_reconfiguration_overhead(benchmark, sweep):
+    benchmark.pedantic(
+        reconfiguration_overhead_sweep,
+        kwargs=dict(core_counts=(4, 16)),
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Figure 2 motivation — DVFS reconfiguration overhead vs cores")
+    cores = sorted(sweep["software"])
+    table(
+        ["cores", "software stall (ms)", "RSU stall (ms)", "ratio"],
+        [
+            [
+                n,
+                f"{sweep['software'][n] * 1e3:.3f}",
+                f"{sweep['rsu'][n] * 1e3:.4f}",
+                f"{sweep['software'][n] / max(sweep['rsu'][n], 1e-12):.0f}x",
+            ]
+            for n in cores
+        ],
+    )
+    sw = sweep["software"]
+    assert sw[64] > sw[32] > sw[16] > sw[8] > sw[4]
+    assert sw[64] / sw[4] > 16  # superlinear growth: the lock contends
+    assert max(sweep["rsu"].values()) < 0.01 * sw[64]

@@ -1,0 +1,82 @@
+"""Figure 3: VSR sort vs other vectorised sorts over a scalar baseline.
+
+Paper: *"VSR sort shows maximum speedups over a scalar baseline between
+7.9x and 11.7x when a simple single-lane pipelined vector approach is
+used, and maximum speedups between 14.9x and 20.6x when as few as four
+parallel lanes are used. [...] On average VSR sort performs 3.4x better
+than the next-best vectorized sorting algorithm when run on the same
+hardware configuration."*
+"""
+
+import numpy as np
+import pytest
+
+from repro.vector import best_speedups, fig3_speedups, measure_sort
+
+from conftest import banner, table
+
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return fig3_speedups(n=N)
+
+
+def test_fig3_sort_speedups(benchmark, grid):
+    benchmark.pedantic(
+        measure_sort, args=("vsr",), kwargs=dict(n=N, mvl=64, lanes=4),
+        rounds=1, iterations=1,
+    )
+
+    banner("Figure 3 — speedup over scalar baseline (MVL x lanes grid)")
+    rows = []
+    for m in grid:
+        rows.append(
+            [m.algorithm, m.mvl, m.lanes, f"{m.cpt:.2f}",
+             f"{m.speedup_over_scalar:.1f}x"]
+        )
+    table(["algorithm", "MVL", "lanes", "CPT", "speedup"], rows)
+
+    best = best_speedups(grid)
+    banner("Figure 3 — maximum speedups per lane count")
+    table(
+        ["algorithm", "1 lane", "2 lanes", "4 lanes", "paper (VSR)"],
+        [
+            [a, f"{d.get(1, 0):.1f}x", f"{d.get(2, 0):.1f}x",
+             f"{d.get(4, 0):.1f}x",
+             "7.9-11.7x / 14.9-20.6x" if a == "vsr" else "-"]
+            for a, d in best.items()
+        ],
+    )
+
+    # Paper bands (with tolerance for the scaled-down input).
+    assert 6.5 <= best["vsr"][1] <= 12.5
+    assert 13.5 <= best["vsr"][4] <= 22.0
+
+    # VSR wins every configuration; ~3.4x over the next best on average.
+    by_cfg = {}
+    for m in grid:
+        by_cfg.setdefault((m.mvl, m.lanes), {})[m.algorithm] = m.cpt
+    ratios = []
+    for cfg, d in by_cfg.items():
+        assert d["vsr"] == min(d.values()), cfg
+        ratios.append(min(v for k, v in d.items() if k != "vsr") / d["vsr"])
+    avg_ratio = float(np.mean(ratios))
+    print(f"\nVSR vs next-best vectorised sort: {avg_ratio:.2f}x (paper: 3.4x)")
+    assert 2.6 <= avg_ratio <= 4.2
+
+
+def test_fig3_cpt_constant_in_input_size(benchmark):
+    cpts = {
+        n: measure_sort("vsr", n=n, mvl=64, lanes=4).cpt
+        for n in (1 << 12, 1 << 14, 1 << 16)
+    }
+    benchmark.pedantic(
+        measure_sort, args=("vsr",), kwargs=dict(n=1 << 14), rounds=1,
+        iterations=1,
+    )
+    banner("Figure 3 — O(k*n) property: VSR cycles-per-tuple vs input size")
+    table(["n", "CPT"], [[n, f"{c:.2f}"] for n, c in cpts.items()])
+    vals = list(cpts.values())
+    assert max(vals) / min(vals) < 1.25  # constant CPT as n grows

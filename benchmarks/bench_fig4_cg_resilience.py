@@ -1,0 +1,75 @@
+"""Figure 4: CG disturbed by one DUE under every recovery mechanism.
+
+Paper: *"The lightblue checkpointing scheme incurs a significant overhead
+when rolling back, and the restart method, in green, has a slower
+convergence afterwards, when compared to the ideal baseline, in red,
+which has no fault injected nor resilience mechanism.  Our recovery
+technique, in purple, shows a convergence time close to the ideal
+baseline, and its asynchronous counterpart, in blue, displays an even
+smaller overhead."*
+"""
+
+import pytest
+
+from repro.resilience import (
+    Fig4Setup,
+    ascii_plot,
+    convergence_times,
+    fig4_curves,
+)
+
+from conftest import banner, table
+
+SETUP = Fig4Setup()  # 72x72 thermal proxy, DUE at t=30s
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return fig4_curves(SETUP)
+
+
+def test_fig4_cg_resilience(benchmark, runs):
+    benchmark.pedantic(
+        fig4_curves,
+        args=(Fig4Setup(nx=32, ny=32, fault_time_s=8.0,
+                        checkpoint_interval=60, block_start=256,
+                        block_len=128),),
+        rounds=1,
+        iterations=1,
+    )
+
+    times = convergence_times(runs)
+    banner(
+        f"Figure 4 — CG + single DUE at t={SETUP.fault_time_s:.0f}s "
+        f"({SETUP.nx}x{SETUP.ny} thermal2 proxy)"
+    )
+    ideal = times["Ideal"]
+    rows = []
+    for name, r in runs.items():
+        rows.append(
+            [
+                name,
+                "yes" if r.converged else "NO",
+                r.iterations,
+                f"{times[name]:.1f}",
+                f"+{times[name] - ideal:.1f}s",
+            ]
+        )
+    table(["mechanism", "converged", "iterations", "time (s)",
+           "vs ideal"], rows)
+    print()
+    print(ascii_plot(runs))
+
+    # Shape: everything converges; Ideal <= AFEIR < FEIR < Ckpt, Restart.
+    assert all(r.converged for r in runs.values())
+    ckpt = next(k for k in times if k.startswith("Ckpt"))
+    assert times["Ideal"] <= times["AFEIR"]
+    assert times["AFEIR"] < times["FEIR"]
+    assert times["FEIR"] < times[ckpt]
+    assert times["FEIR"] < times["Lossy Restart"]
+    # AFEIR hides most of FEIR's recovery latency.
+    assert (times["AFEIR"] - ideal) < 0.5 * (times["FEIR"] - ideal)
+    # Exactness: FEIR needs no extra iterations vs ideal.
+    assert abs(runs["FEIR"].iterations - runs["Ideal"].iterations) <= 1
+    # Restart damaged the Krylov space: more iterations.
+    assert runs["Lossy Restart"].iterations > runs["Ideal"].iterations

@@ -1,0 +1,56 @@
+"""Figure 5: OmpSs vs Pthreads scalability (bodytrack, facesim).
+
+Paper: *"Figure 5 shows the scalability comparison between OmpSs and
+Pthreads versions for bodytrack and facesim on a 16-core machine.  Both
+applications improve significantly their scalability over the original
+code, reaching a scaling factor of 12 and 10, respectively, when running
+with 16 cores."*
+"""
+
+import pytest
+
+from repro.apps.parsec import fig5_scalability
+
+from conftest import banner, table
+
+THREADS = (1, 2, 4, 8, 12, 16)
+PAPER_AT_16 = {"bodytrack": 12.0, "facesim": 10.0}
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {app: fig5_scalability(app, THREADS) for app in PAPER_AT_16}
+
+
+def test_fig5_parsec_scalability(benchmark, curves):
+    benchmark.pedantic(
+        fig5_scalability, args=("bodytrack", (1, 16)), rounds=1, iterations=1
+    )
+
+    for app, data in curves.items():
+        banner(f"Figure 5 — {app}: speedup vs threads")
+        rows = []
+        for n in THREADS:
+            rows.append(
+                [
+                    n,
+                    f"{data['pthreads'][n]:.2f}x",
+                    f"{data['ompss'][n]:.2f}x",
+                    f"{PAPER_AT_16[app]:.0f}x" if n == 16 else "",
+                ]
+            )
+        table(["threads", "Original (Pthreads)", "OmpSs",
+               "paper OmpSs @16"], rows)
+
+    bt, fs = curves["bodytrack"], curves["facesim"]
+    # Paper bands at 16 cores.
+    assert 10.5 <= bt["ompss"][16] <= 13.5  # ~12x
+    assert 8.5 <= fs["ompss"][16] <= 11.5  # ~10x
+    # OmpSs dominates the original at every thread count > 1.
+    for app in curves.values():
+        for n in THREADS[1:]:
+            assert app["ompss"][n] > app["pthreads"][n]
+        # Monotone scaling curves.
+        for variant in ("pthreads", "ompss"):
+            sp = [app[variant][n] for n in THREADS]
+            assert sp == sorted(sp)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""OmpSs vs Pthreads scalability on PARSEC models (Section 5 / Figure 5).
+
+Runs the bodytrack and facesim task-graph models in both programming-
+model variants across 1-16 simulated cores and prints the scalability
+curves, plus the two extra pipeline applications from the ported set.
+
+Run:  python examples/parsec_scaling.py
+"""
+
+from repro.apps.parsec import PARSEC_APPS, fig5_scalability
+
+THREADS = (1, 2, 4, 8, 12, 16)
+
+
+def ascii_curve(values, width=40, vmax=16.0):
+    return "".join(
+        "#" if i / width * vmax <= v else " "
+        for i in range(width)
+        for v in [values]
+    )
+
+
+def main():
+    for app in ("bodytrack", "facesim"):
+        print(f"== {app} ==")
+        curves = fig5_scalability(app, THREADS)
+        print(f"{'threads':>8} {'Pthreads':>9} {'OmpSs':>7}")
+        for n in THREADS:
+            bar = int(curves["ompss"][n] * 2.5) * "#"
+            print(f"{n:>8} {curves['pthreads'][n]:>8.2f}x "
+                  f"{curves['ompss'][n]:>6.2f}x  {bar}")
+        print(f"paper: OmpSs reaches "
+              f"{'~12x' if app == 'bodytrack' else '~10x'} at 16 cores\n")
+
+    print("== extended sweep: other pipeline-parallel apps of the port ==")
+    for app in ("ferret", "streamcluster"):
+        curves = fig5_scalability(app, (1, 16))
+        print(f"{app:>14}: Pthreads {curves['pthreads'][16]:5.2f}x   "
+              f"OmpSs {curves['ompss'][16]:5.2f}x  at 16 cores")
+
+    print("\nwhy the OmpSs ports win:")
+    print("  - per-frame I/O becomes an asynchronous task that dataflow")
+    print("    overlaps with the previous frame's computation,")
+    print("  - parallel phases decompose into ~4x more tasks than cores,")
+    print("    so stragglers stop gating barriers,")
+    print("  - serial stages only wait for their own frame's data.")
+
+
+if __name__ == "__main__":
+    main()

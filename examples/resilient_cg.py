@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Surviving a DUE in Conjugate Gradient (Section 4 / Figure 4).
+
+Injects a detected-uncorrected error into the CG iterate around t=30s
+and compares all recovery mechanisms: checkpoint/rollback, lossy
+restart, FEIR (exact forward interpolation) and AFEIR (the same recovery
+scheduled off the critical path through the task runtime).
+
+Run:  python examples/resilient_cg.py
+"""
+
+from repro.resilience import (
+    Fig4Setup,
+    ascii_plot,
+    convergence_times,
+    fig4_curves,
+)
+
+
+def main():
+    setup = Fig4Setup()
+    print(f"system: {setup.nx}x{setup.ny} heterogeneous thermal proxy "
+          f"({setup.nx * setup.ny} dofs), DUE at t={setup.fault_time_s:.0f}s "
+          f"wiping x[{setup.block_start}:{setup.block_start + setup.block_len}]")
+    runs = fig4_curves(setup)
+    times = convergence_times(runs)
+    ideal = times["Ideal"]
+
+    print(f"\n{'mechanism':<15} {'iterations':>10} {'time (s)':>9} "
+          f"{'overhead':>9}")
+    for name, r in runs.items():
+        print(f"{name:<15} {r.iterations:>10} {times[name]:>9.1f} "
+              f"{times[name] - ideal:>+8.1f}s")
+
+    print("\nconvergence curves (log10 relative residual vs time):\n")
+    print(ascii_plot(runs))
+
+    print("\nreading the figure like the paper does:")
+    ckpt = next(k for k in runs if k.startswith("Ckpt"))
+    print(f"  - {ckpt}: rollback bubble "
+          f"(+{times[ckpt] - ideal:.1f}s, residual jumps back up)")
+    print(f"  - Lossy Restart: exact time of recovery is cheap but the "
+          f"rebuilt Krylov space needs "
+          f"{runs['Lossy Restart'].iterations - runs['Ideal'].iterations} "
+          f"extra iterations")
+    print(f"  - FEIR: exact recovery, same iteration count as Ideal, "
+          f"+{times['FEIR'] - ideal:.1f}s synchronous stall")
+    print(f"  - AFEIR: recovery task runs off the critical path, "
+          f"+{times['AFEIR'] - ideal:.1f}s visible")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""VSR sort and the VPI/VLU instructions (Section 3.2).
+
+Shows the two new instructions on a tiny register, then sorts a million-
+class workload (scaled) on vector engines with different MVL/lane
+configurations, comparing all four vectorised algorithms against the
+scalar baseline — the Figure 3 experiment in miniature.
+
+Run:  python examples/vsr_sort_demo.py
+"""
+
+import numpy as np
+
+from repro.vector import (
+    SORT_ALGORITHMS,
+    VectorEngine,
+    measure_sort,
+    vector_last_unique,
+    vector_prior_instances,
+)
+
+
+def main():
+    print("== The two new instructions ==")
+    reg = np.array([3, 1, 3, 3, 1, 2])
+    print(f"register      : {reg.tolist()}")
+    print(f"VPI(register) : {vector_prior_instances(reg).tolist()}"
+          "   (how many equal values came before)")
+    print(f"VLU(register) : {[int(b) for b in vector_last_unique(reg)]}"
+          "   (mask of last instance of each value)")
+
+    print("\n== Why they matter: conflict-free vectorised radix ==")
+    print("bucket[digit] updates for equal digits in one register would")
+    print("race; VPI gives each element its rank, VLU picks the single")
+    print("slot that must write the final counter value.\n")
+
+    n = 1 << 14
+    print(f"== Sorting {n} random 32-bit keys ==")
+    print(f"{'algorithm':>10} {'MVL':>5} {'lanes':>6} {'CPT':>8} {'speedup':>9}")
+    for algo in SORT_ALGORITHMS:
+        for mvl, lanes in ((64, 1), (64, 4)):
+            m = measure_sort(algo, n=n, mvl=mvl, lanes=lanes)
+            print(f"{algo:>10} {mvl:>5} {lanes:>6} {m.cpt:>8.2f} "
+                  f"{m.speedup_over_scalar:>8.1f}x")
+
+    print("\n== O(k*n): VSR cycles-per-tuple stays flat as n grows ==")
+    for nn in (1 << 12, 1 << 14, 1 << 16):
+        m = measure_sort("vsr", n=nn, mvl=64, lanes=4)
+        print(f"n={nn:>7}: CPT {m.cpt:.2f}")
+
+    print("\n== Executable specification: per-strip engine instructions ==")
+    from repro.vector import vsr_sort_strips
+
+    keys = np.random.default_rng(0).integers(0, 1 << 16, 512)
+    engine = VectorEngine(mvl=32, lanes=2)
+    out = vsr_sort_strips(engine, keys)
+    assert np.array_equal(out, np.sort(keys))
+    print(f"sorted 512 keys strip-by-strip: {engine.instructions} vector "
+          f"instructions, {engine.cycles:.0f} cycles "
+          f"(CPT {engine.cycles / 512:.1f})")
+
+
+if __name__ == "__main__":
+    main()

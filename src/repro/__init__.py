@@ -1,0 +1,25 @@
+"""repro — Runtime-Aware Architectures, reproduced in Python.
+
+A from-scratch implementation of the system described in *"Runtime-aware
+Architectures: A Second Approach"* (Valero et al., Barcelona Supercomputing
+Center): an OmpSs-like task runtime co-designed with simulated hardware —
+criticality-aware DVFS via a Runtime Support Unit, a hybrid
+scratchpad+cache memory hierarchy, a vector ISA with the VPI/VLU
+instructions behind VSR sort, and algorithm-level DUE recovery for
+iterative solvers.
+
+Subpackages
+-----------
+``repro.sim``        discrete-event multicore simulator (cores, power, NoC)
+``repro.core``       the task runtime (TDG, schedulers, criticality)
+``repro.memory``     hybrid SPM+cache memory hierarchy   (Fig. 1)
+``repro.vector``     vector ISA + sorting algorithms      (Fig. 3)
+``repro.resilience`` CG solver + DUE recovery schemes     (Fig. 4)
+``repro.apps``       NAS / PARSEC workload models         (Figs. 1 & 5)
+"""
+
+__version__ = "1.0.0"
+
+from . import core, sim
+
+__all__ = ["core", "sim", "__version__"]

@@ -1,0 +1,11 @@
+"""Workload models.
+
+* :mod:`~repro.apps.nas` — NAS access-pattern generators (Figure 1)
+* :mod:`~repro.apps.rsu_experiment` — criticality/DVFS experiments (Fig. 2)
+* :mod:`~repro.apps.parsec` — PARSEC task-graph models (Figure 5)
+* :mod:`~repro.apps.kernels` — generic TDG patterns used throughout
+"""
+
+from . import kernels, nas, parsec, rsu_experiment
+
+__all__ = ["kernels", "nas", "parsec", "rsu_experiment"]

@@ -1,0 +1,61 @@
+"""The OmpSs-like task runtime — the paper's primary contribution.
+
+Programs are expressed as tasks with declared data accesses
+(:mod:`~repro.core.task`); the runtime derives the Task Dependency Graph
+(:mod:`~repro.core.deps`, :mod:`~repro.core.graph`), analyses criticality
+(:mod:`~repro.core.criticality`), and executes the graph on a simulated
+machine under a pluggable scheduling policy
+(:mod:`~repro.core.schedulers`, :mod:`~repro.core.runtime`).
+"""
+
+from .api import TaskifiedFunction, task
+from .criticality import (
+    AnnotatedCriticality,
+    BottomLevelHeuristic,
+    CriticalityPolicy,
+    CriticalPathOracle,
+)
+from .deps import DependenceTracker
+from .graph import CycleError, TaskGraph
+from .prefetch import RuntimePrefetcher
+from .runtime import DeadlockError, RunResult, Runtime
+from .schedulers import (
+    BottomLevelScheduler,
+    BreadthFirstScheduler,
+    CriticalityAwareScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    Scheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+)
+from .task import Dependence, DepKind, Region, Task, TaskState
+
+__all__ = [
+    "TaskifiedFunction",
+    "task",
+    "AnnotatedCriticality",
+    "BottomLevelHeuristic",
+    "CriticalityPolicy",
+    "CriticalPathOracle",
+    "DependenceTracker",
+    "CycleError",
+    "RuntimePrefetcher",
+    "TaskGraph",
+    "DeadlockError",
+    "RunResult",
+    "Runtime",
+    "BottomLevelScheduler",
+    "BreadthFirstScheduler",
+    "CriticalityAwareScheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "Scheduler",
+    "StaticScheduler",
+    "WorkStealingScheduler",
+    "Dependence",
+    "DepKind",
+    "Region",
+    "Task",
+    "TaskState",
+]

@@ -1,0 +1,125 @@
+"""User-facing task annotation API.
+
+Mirrors the OmpSs/OpenMP-4.0 source-level syntax as closely as Python
+allows.  A function is *taskified* with the :func:`task` decorator, naming
+its data accesses; calling ``fn.spawn(runtime, *args)`` then submits one
+task instance::
+
+    @task(in_=["A"], out=["B"], cpu_cycles=2e6, label="axpy")
+    def axpy(alpha):
+        ...real work, optional...
+
+    axpy.spawn(rt, 2.0)          # submits a task reading A, writing B
+    rt.run()
+
+Dependence specs may be static region specs (strings, ``Region`` objects or
+``(name, start, stop)`` tuples) or callables receiving the call's
+``(*args, **kwargs)`` and returning a list of specs — the dynamic form is
+how per-iteration block dependences (e.g. ``("x", i*B, (i+1)*B)``) are
+expressed, playing the role of OmpSs's array-section syntax
+``in(x[i*B;B])``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, Sequence, Union
+
+from .runtime import Runtime
+from .task import Task
+
+__all__ = ["task", "TaskifiedFunction"]
+
+SpecOrFn = Union[Sequence, Callable[..., Sequence]]
+
+
+def _resolve(spec: SpecOrFn, args: tuple, kwargs: dict) -> Sequence:
+    if callable(spec):
+        return spec(*args, **kwargs)
+    return spec
+
+
+class TaskifiedFunction:
+    """A function plus its dependence/cost annotations."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        label: Optional[str],
+        cpu_cycles: Union[float, Callable[..., float]],
+        mem_seconds: Union[float, Callable[..., float]],
+        in_: SpecOrFn,
+        out: SpecOrFn,
+        inout: SpecOrFn,
+        concurrent: SpecOrFn,
+        commutative: SpecOrFn,
+        priority: int,
+    ) -> None:
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.label = label or fn.__name__
+        self.cpu_cycles = cpu_cycles
+        self.mem_seconds = mem_seconds
+        self.in_ = in_
+        self.out = out
+        self.inout = inout
+        self.concurrent = concurrent
+        self.commutative = commutative
+        self.priority = priority
+
+    def __call__(self, *args, **kwargs):
+        """Direct call: run the body immediately (sequential semantics)."""
+        return self.fn(*args, **kwargs)
+
+    def make_task(self, *args, **kwargs) -> Task:
+        """Build (but do not submit) one task instance for this call."""
+        cost = self.cpu_cycles(*args, **kwargs) if callable(self.cpu_cycles) else self.cpu_cycles
+        mem = self.mem_seconds(*args, **kwargs) if callable(self.mem_seconds) else self.mem_seconds
+        return Task.make(
+            label=self.label,
+            cpu_cycles=cost,
+            mem_seconds=mem,
+            in_=_resolve(self.in_, args, kwargs),
+            out=_resolve(self.out, args, kwargs),
+            inout=_resolve(self.inout, args, kwargs),
+            concurrent=_resolve(self.concurrent, args, kwargs),
+            commutative=_resolve(self.commutative, args, kwargs),
+            fn=self.fn,
+            args=args,
+            kwargs=kwargs,
+            priority=self.priority,
+        )
+
+    def spawn(self, runtime: Runtime, *args, **kwargs) -> Task:
+        """Submit one task instance of this function to ``runtime``."""
+        return runtime.submit(self.make_task(*args, **kwargs))
+
+
+def task(
+    label: Optional[str] = None,
+    cpu_cycles: Union[float, Callable[..., float]] = 1e6,
+    mem_seconds: Union[float, Callable[..., float]] = 0.0,
+    in_: SpecOrFn = (),
+    out: SpecOrFn = (),
+    inout: SpecOrFn = (),
+    concurrent: SpecOrFn = (),
+    commutative: SpecOrFn = (),
+    priority: int = 0,
+) -> Callable[[Callable], TaskifiedFunction]:
+    """Taskify a function (the ``#pragma omp task`` of this runtime)."""
+
+    def decorate(fn: Callable) -> TaskifiedFunction:
+        return TaskifiedFunction(
+            fn,
+            label,
+            cpu_cycles,
+            mem_seconds,
+            in_,
+            out,
+            inout,
+            concurrent,
+            commutative,
+            priority,
+        )
+
+    return decorate

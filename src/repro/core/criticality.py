@@ -1,0 +1,95 @@
+"""Task criticality policies (Section 3.1).
+
+*"A task is considered critical if it belongs to the critical path of the
+Task Dependency Graph.  Consequently, critical tasks can be run in faster or
+accelerated cores while non critical tasks can be scheduled to slow cores
+without affecting the final performance and reducing overall energy
+consumption."*
+
+Three ways of deciding criticality are provided, matching the options the
+BSC line of work (CATS / CATA) explored:
+
+* :class:`CriticalPathOracle` — offline, whole-graph longest-path marking;
+  the upper bound a runtime heuristic can aim for.
+* :class:`BottomLevelHeuristic` — online CATS rule: among *ready* tasks, the
+  one(s) whose bottom level is within ``ratio`` of the current maximum are
+  treated as critical.  Uses only information available at runtime.
+* :class:`AnnotatedCriticality` — programmer-annotated, the "simply
+  annotated by the programmer" variant mentioned in the paper; reads a
+  boolean from the task's label registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = [
+    "CriticalityPolicy",
+    "CriticalPathOracle",
+    "BottomLevelHeuristic",
+    "AnnotatedCriticality",
+]
+
+
+class CriticalityPolicy:
+    """Decides, at dispatch time, whether a task should be boosted."""
+
+    def prepare(self, graph: TaskGraph) -> None:
+        """Called once the graph (or a batch of submissions) is complete."""
+
+    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
+        raise NotImplementedError
+
+
+class CriticalPathOracle(CriticalityPolicy):
+    """Offline marking of every task on some longest path."""
+
+    def prepare(self, graph: TaskGraph) -> None:
+        graph.mark_critical_tasks()
+
+    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
+        return task.critical
+
+
+class BottomLevelHeuristic(CriticalityPolicy):
+    """Online CATS-style rule using bottom levels.
+
+    A ready task is critical when its bottom level is at least ``ratio`` of
+    the largest bottom level among currently-ready tasks.  ``ratio=1.0``
+    boosts only the single longest chain; smaller values widen the boosted
+    set (useful when the budget allows several fast cores).
+    """
+
+    def __init__(self, ratio: float = 0.999) -> None:
+        if not (0.0 < ratio <= 1.0):
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+
+    def prepare(self, graph: TaskGraph) -> None:
+        graph.compute_bottom_levels()
+
+    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
+        levels = [t.bottom_level for t in ready]
+        if not levels:
+            return task.bottom_level > 0
+        return task.bottom_level >= self.ratio * max(levels)
+
+
+class AnnotatedCriticality(CriticalityPolicy):
+    """Programmer-annotated criticality by task label.
+
+    ``annotations`` maps a task label (exact match) to a boolean; unknown
+    labels default to ``default``.
+    """
+
+    def __init__(
+        self, annotations: Optional[Dict[str, bool]] = None, default: bool = False
+    ) -> None:
+        self.annotations = dict(annotations or {})
+        self.default = default
+
+    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
+        return self.annotations.get(task.label, self.default)

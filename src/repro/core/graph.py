@@ -1,0 +1,207 @@
+"""The Task Dependency Graph (TDG).
+
+The paper: *"tasks have data dependencies between them and a Task Dependency
+Graph (TDG) can be built at runtime or statically.  In this context, the
+runtime drives the design of new architecture components to support
+activities like the construction of the TDG."*
+
+This module holds the graph itself plus the global analyses the rest of the
+system consumes: topological ordering, longest (critical) path, bottom
+levels, width/depth profiles, and an export to :mod:`networkx` for ad-hoc
+inspection.  Edge insertion is O(1); analyses are run on demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .task import Task, TaskState
+
+__all__ = ["TaskGraph", "CycleError"]
+
+
+class CycleError(ValueError):
+    """The graph contains a dependence cycle (impossible from honest
+    dataflow registration, but user-constructed graphs are validated)."""
+
+
+class TaskGraph:
+    """A DAG of :class:`~repro.core.task.Task` nodes.
+
+    The graph owns no scheduling state beyond each task's predecessor /
+    successor sets; the runtime mutates ``unfinished_preds`` as execution
+    progresses.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: List[Task] = []
+        self._task_ids: Set[int] = set()
+        self.n_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> None:
+        if task.task_id in self._task_ids:
+            raise ValueError(f"task #{task.task_id} already in graph")
+        self._task_ids.add(task.task_id)
+        task.depth = 0
+        self.tasks.append(task)
+
+    def add_edge(self, pred: Task, succ: Task) -> bool:
+        """Insert ``pred -> succ``; returns False if it already existed."""
+        if pred.task_id not in self._task_ids or succ.task_id not in self._task_ids:
+            raise ValueError("both endpoints must be in the graph")
+        if succ in pred.successors:
+            return False
+        pred.successors.add(succ)
+        succ.predecessors.add(pred)
+        if pred.state is not TaskState.FINISHED:
+            succ.unfinished_preds += 1
+        succ.depth = max(succ.depth, pred.depth + 1)
+        self.n_edges += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Task]:
+        return [t for t in self.tasks if not t.predecessors]
+
+    def sinks(self) -> List[Task]:
+        return [t for t in self.tasks if not t.successors]
+
+    def topological_order(self) -> List[Task]:
+        """Kahn's algorithm; raises :class:`CycleError` on cycles."""
+        indeg: Dict[int, int] = {t.task_id: len(t.predecessors) for t in self.tasks}
+        queue = deque(t for t in self.tasks if indeg[t.task_id] == 0)
+        order: List[Task] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for succ in node.successors:
+                indeg[succ.task_id] -= 1
+                if indeg[succ.task_id] == 0:
+                    queue.append(succ)
+        if len(order) != len(self.tasks):
+            raise CycleError(
+                f"dependence cycle: {len(self.tasks) - len(order)} tasks unreachable"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants (acyclicity, symmetric adjacency)."""
+        self.topological_order()
+        for t in self.tasks:
+            for s in t.successors:
+                if t not in s.predecessors:
+                    raise AssertionError("asymmetric adjacency")
+            for p in t.predecessors:
+                if t not in p.successors:
+                    raise AssertionError("asymmetric adjacency")
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    def compute_bottom_levels(
+        self, weight: Optional[Callable[[Task], float]] = None
+    ) -> float:
+        """Fill each task's ``bottom_level`` and return the maximum.
+
+        The bottom level of a task is its own weight plus the heaviest chain
+        of successors below it — the classic list-scheduling priority and the
+        quantity that defines the *critical path* (Section 3.1: a task is
+        critical if it belongs to the critical path of the TDG).
+        """
+        weight = weight or (lambda t: t.reference_work())
+        for task in reversed(self.topological_order()):
+            below = max((s.bottom_level for s in task.successors), default=0.0)
+            task.bottom_level = weight(task) + below
+        return max((t.bottom_level for t in self.tasks), default=0.0)
+
+    def critical_path(
+        self, weight: Optional[Callable[[Task], float]] = None
+    ) -> Tuple[List[Task], float]:
+        """One longest path through the DAG and its total weight."""
+        length = self.compute_bottom_levels(weight)
+        path: List[Task] = []
+        frontier = self.roots()
+        while frontier:
+            node = max(frontier, key=lambda t: t.bottom_level)
+            path.append(node)
+            frontier = list(node.successors)
+        return path, length
+
+    def mark_critical_tasks(
+        self,
+        weight: Optional[Callable[[Task], float]] = None,
+        tolerance: float = 1e-9,
+    ) -> int:
+        """Set ``task.critical`` for every task lying on *some* longest path.
+
+        A task is on a longest path iff ``top_level + bottom_level`` equals
+        the critical-path length (top level = heaviest chain strictly above
+        it).  Returns the number of critical tasks.
+        """
+        weight = weight or (lambda t: t.reference_work())
+        length = self.compute_bottom_levels(weight)
+        top: Dict[int, float] = {}
+        for task in self.topological_order():
+            top[task.task_id] = max(
+                (top[p.task_id] + weight(p) for p in task.predecessors),
+                default=0.0,
+            )
+        n_critical = 0
+        for task in self.tasks:
+            task.critical = (
+                top[task.task_id] + task.bottom_level >= length - tolerance
+            )
+            n_critical += task.critical
+        return n_critical
+
+    def width_profile(self) -> List[int]:
+        """Number of tasks at each depth (the graph's parallelism profile)."""
+        if not self.tasks:
+            return []
+        # Recompute depths from scratch (add_edge keeps them monotone but
+        # submission order can under-approximate).
+        for task in self.topological_order():
+            task.depth = max((p.depth + 1 for p in task.predecessors), default=0)
+        levels: Dict[int, int] = {}
+        for task in self.tasks:
+            levels[task.depth] = levels.get(task.depth, 0) + 1
+        return [levels[d] for d in range(max(levels) + 1)]
+
+    def total_work(self, weight: Optional[Callable[[Task], float]] = None) -> float:
+        weight = weight or (lambda t: t.reference_work())
+        return sum(weight(t) for t in self.tasks)
+
+    def average_parallelism(self) -> float:
+        """Total work divided by critical-path length (ideal speedup bound)."""
+        _, cp = self.critical_path()
+        if cp <= 0:
+            return float(len(self.tasks)) if self.tasks else 0.0
+        return self.total_work() / cp
+
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (labels + costs as attrs)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for t in self.tasks:
+            g.add_node(
+                t.task_id,
+                label=t.label,
+                cpu_cycles=t.cpu_cycles,
+                mem_seconds=t.mem_seconds,
+                critical=t.critical,
+            )
+        for t in self.tasks:
+            for s in t.successors:
+                g.add_edge(t.task_id, s.task_id)
+        return g

@@ -1,0 +1,317 @@
+"""The task runtime: dataflow execution of a TDG on a simulated machine.
+
+This is the reproduction's equivalent of Nanos++ running on a runtime-aware
+chip.  It glues together:
+
+* the :class:`~repro.core.deps.DependenceTracker` (TDG construction as tasks
+  are submitted),
+* a :class:`~repro.core.schedulers.Scheduler` (ready-queue policy),
+* an optional :class:`~repro.core.criticality.CriticalityPolicy` plus
+  :class:`~repro.sim.rsu.RuntimeSupportUnit` (criticality-aware DVFS),
+* the :class:`~repro.sim.machine.Machine` (cores, power, discrete-event
+  clock).
+
+Execution is fully event-driven: task completions wake the dispatcher, which
+fills idle cores from the scheduler.  When a task carries a real Python
+function, the function runs at simulated-completion time; because completion
+order is a topological order of the TDG, real data values are always
+dataflow-consistent — this is what lets the resilience experiments compute
+real numerics under a simulated parallel schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.machine import Machine
+from ..sim.rsu import RuntimeSupportUnit
+from ..sim.stats import StatSet
+from ..sim.trace import TraceRecord, TraceRecorder
+from .criticality import CriticalityPolicy
+from .deps import DependenceTracker
+from .graph import TaskGraph
+from .schedulers import FifoScheduler, Scheduler
+from .task import Task, TaskState
+
+__all__ = ["Runtime", "RunResult", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """Event queue drained while unfinished tasks remain."""
+
+
+@dataclass
+class RunResult:
+    """Summary of one simulated execution."""
+
+    makespan: float
+    energy_j: float
+    edp: float
+    n_tasks: int
+    trace: Optional[TraceRecorder]
+    stats: StatSet = field(default_factory=lambda: StatSet("run"))
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.energy_j / self.makespan if self.makespan > 0 else 0.0
+
+
+class Runtime:
+    """An OmpSs-like task runtime bound to one :class:`Machine`.
+
+    Parameters
+    ----------
+    machine:
+        The simulated chip to execute on.
+    scheduler:
+        Ready-queue policy (default FIFO).
+    criticality:
+        Optional policy deciding per-task boost requests.
+    rsu:
+        Optional Runtime Support Unit (with its DVFS mechanism) that the
+        runtime notifies on task start; required for DVFS experiments.
+    lower_on_idle:
+        If True the runtime asks the RSU to drop a core to the idle level
+        when it runs out of work (costs an extra reconfiguration).
+    record_trace:
+        Keep per-task execution records (memory proportional to task count).
+    execute_functions:
+        Run each task's real ``fn`` at simulated completion.
+    submission:
+        Optional :class:`~repro.sim.tdg_accel.SubmissionModel`: dependence
+        registration then takes time on the (serial) master thread, so a
+        task cannot become ready before the master has registered it.
+        Models the TDG-construction bottleneck that motivates hardware
+        support ("the runtime drives the design of new architecture
+        components to support activities like the construction of the
+        TDG").
+    prefetcher:
+        Optional :class:`~repro.core.prefetch.RuntimePrefetcher`: the
+        runtime prefetches a ready task's input regions ahead of dispatch,
+        hiding part of its memory time (runtime-guided prefetching).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: Optional[Scheduler] = None,
+        criticality: Optional[CriticalityPolicy] = None,
+        rsu: Optional[RuntimeSupportUnit] = None,
+        lower_on_idle: bool = False,
+        record_trace: bool = True,
+        execute_functions: bool = True,
+        submission=None,
+        prefetcher=None,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler or FifoScheduler()
+        self.criticality = criticality
+        self.rsu = rsu
+        self.lower_on_idle = lower_on_idle
+        self.tracker = DependenceTracker()
+        self.graph = TaskGraph()
+        self.trace = TraceRecorder() if record_trace else None
+        self.execute_functions = execute_functions
+        self.stats = StatSet("runtime")
+        self._unfinished = 0
+        self._dispatch_scheduled = False
+        self._rr_hint = 0
+        self._pending_ready: List[Task] = []
+        self._prepared = False
+        self.submission = submission
+        self.prefetcher = prefetcher
+        self._master_free_at = 0.0
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> Task:
+        """Register a task: derive its TDG edges and queue it if ready."""
+        self.graph.add_task(task)
+        edges = self.tracker.register(task)
+        for pred, succ in edges:
+            self.graph.add_edge(pred, succ)
+        self._unfinished += 1
+        self.stats.add("tasks_submitted")
+        if self.submission is not None:
+            # The master thread serialises dependence registration.
+            cost = self.submission.register_seconds(len(task.deps))
+            self._master_free_at = max(
+                self._master_free_at, self.machine.sim.now
+            ) + cost
+            task.submit_time = self._master_free_at
+            self.stats.add("submission_seconds", cost)
+        else:
+            task.submit_time = self.machine.sim.now
+        if task.unfinished_preds == 0:
+            self._make_ready(task)
+        return task
+
+    def submit_all(self, tasks: Sequence[Task]) -> List[Task]:
+        return [self.submit(t) for t in tasks]
+
+    def spawn(self, label: str = "task", **kwargs) -> Task:
+        """Create-and-submit shorthand mirroring ``#pragma omp task``."""
+        return self.submit(Task.make(label=label, **kwargs))
+
+    # ------------------------------------------------------------------
+    # readiness & dispatch
+    # ------------------------------------------------------------------
+    def _make_ready(self, task: Task) -> None:
+        # Readiness is recorded immediately, but the scheduler push is
+        # deferred to dispatch time (inside the simulation loop) so that
+        # whole-graph criticality preparation can run before any placement
+        # decision is taken.  With a submission model, a task additionally
+        # cannot become ready before the master registered it.
+        now = self.machine.sim.now
+        if task.submit_time is not None and task.submit_time > now:
+            self.machine.sim.schedule_at(
+                task.submit_time, self._make_ready, task
+            )
+            # Avoid rescheduling loops: clear the gate before it re-fires.
+            task.submit_time = now
+            return
+        task.state = TaskState.READY
+        task.ready_time = now
+        self._pending_ready.append(task)
+        self._schedule_dispatch()
+
+    def _flush_ready(self) -> None:
+        pending, self._pending_ready = self._pending_ready, []
+        for task in pending:
+            if self.criticality is not None:
+                # Decide criticality with the information available now:
+                # the queued ready set (CATS-style online decision).
+                task.critical = self.criticality.is_critical(
+                    task, self.scheduler.ready_tasks()
+                )
+            self.scheduler.push(task, hint_core=self._rr_hint)
+            self._rr_hint = (self._rr_hint + 1) % self.machine.n_cores
+
+    def _schedule_dispatch(self) -> None:
+        if not self._dispatch_scheduled:
+            self._dispatch_scheduled = True
+            self.machine.sim.schedule(0.0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        self._flush_ready()
+        for core in self.machine.cores:
+            if core.busy:
+                continue
+            task = self.scheduler.pop(core.core_id)
+            if task is None:
+                continue
+            self._start(task, core.core_id)
+
+    def _start(self, task: Task, core_id: int) -> None:
+        machine = self.machine
+        now = machine.sim.now
+        core = machine.cores[core_id]
+        task.state = TaskState.RUNNING
+        task.core_id = core_id
+        task.start_time = now
+        core.begin_work(now, work=task)
+        stall = 0.0
+        freq_hz = core.frequency_hz
+        if self.rsu is not None:
+            result = self.rsu.notify_task_start(core_id, task.critical, now)
+            stall = result.stall_seconds
+            freq_hz = machine.dvfs[result.level].frequency_hz
+            self.stats.add("dvfs_stall_seconds", stall)
+        mem_seconds = task.mem_seconds
+        if self.prefetcher is not None:
+            mem_seconds = self.prefetcher.effective_mem_seconds(task, now)
+            self.stats.add(
+                "prefetch_hidden_seconds", task.mem_seconds - mem_seconds
+            )
+        body = task.cpu_cycles / freq_hz + mem_seconds
+        end = now + stall + body
+        task.end_time = end
+        machine.sim.schedule_at(end, self._complete, task)
+        self.stats.add("tasks_started")
+        if task.critical:
+            self.stats.add("critical_tasks_started")
+
+    def _complete(self, task: Task) -> None:
+        machine = self.machine
+        now = machine.sim.now
+        core = machine.cores[task.core_id]
+        core.end_work(now)
+        task.state = TaskState.FINISHED
+        self._unfinished -= 1
+        self.stats.add("tasks_finished")
+        if self.trace is not None:
+            self.trace.record(
+                TraceRecord(
+                    task_id=task.task_id,
+                    task_label=task.label,
+                    core_id=task.core_id,
+                    start=task.start_time,
+                    end=now,
+                    frequency_ghz=core.frequency_ghz,
+                    critical=task.critical,
+                )
+            )
+        if self.execute_functions and task.fn is not None:
+            task.result = task.fn(*task.args, **task.kwargs)
+        # Deterministic wake-up order: successor sets hash by task id, so
+        # raw set iteration would vary across processes/runs.
+        for succ in sorted(task.successors, key=lambda t: t.task_id):
+            succ.unfinished_preds -= 1
+            if succ.unfinished_preds == 0 and succ.state is TaskState.CREATED:
+                self._make_ready(succ)
+        if self.rsu is not None and self.lower_on_idle:
+            self.rsu.notify_task_end(task.core_id, now)
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def taskwait(self) -> None:
+        """Run the simulation until every submitted task has finished.
+
+        Mirrors OmpSs ``#pragma omp taskwait`` at the outermost level.
+        """
+        sim = self.machine.sim
+        if not self._prepared:
+            # One-shot whole-graph criticality preparation (bottom levels /
+            # oracle marking) before the first placement decision.
+            self.prepare_criticality()
+            self._prepared = True
+        while self._unfinished > 0:
+            if not sim.step():
+                raise DeadlockError(
+                    f"{self._unfinished} tasks cannot run; "
+                    "dependence cycle or missing submission"
+                )
+        # Drain any trailing zero-work events (dispatches with empty queues).
+        sim.run()
+
+    def run(self) -> RunResult:
+        """``taskwait`` + machine finalisation, returning a summary."""
+        self.taskwait()
+        self.machine.finalize()
+        makespan = self.machine.sim.now
+        energy = self.machine.total_energy_j()
+        result = RunResult(
+            makespan=makespan,
+            energy_j=energy,
+            edp=energy * makespan,
+            n_tasks=len(self.graph),
+            trace=self.trace,
+        )
+        result.stats.merge(self.stats)
+        return result
+
+    # ------------------------------------------------------------------
+    def prepare_criticality(self) -> None:
+        """Run the criticality policy's whole-graph preparation step.
+
+        Call after submitting a complete graph but before :meth:`run` when
+        using offline policies (oracle marking, bottom levels).  Re-pushes
+        nothing: only annotates tasks.
+        """
+        if self.criticality is not None:
+            self.criticality.prepare(self.graph)

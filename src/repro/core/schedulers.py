@@ -1,0 +1,242 @@
+"""Ready-task schedulers.
+
+The runtime decouples *when a task becomes ready* (dataflow) from *where and
+in what order it runs* (the scheduler).  These are the policies evaluated
+throughout the BSC runtime-aware line of work:
+
+* :class:`FifoScheduler` / :class:`LifoScheduler` — baseline orders.
+* :class:`BreadthFirstScheduler` — prefers shallow tasks, maximising the
+  exposed window (good for wide graphs).
+* :class:`BottomLevelScheduler` — classic list scheduling: largest bottom
+  level first (HLF), the order that minimises makespan on balanced graphs.
+* :class:`WorkStealingScheduler` — per-core LIFO deques with FIFO steals
+  (Cilk discipline), deterministic victim choice for reproducibility.
+* :class:`CriticalityAwareScheduler` — the CATS policy of Section 3.1: two
+  queues (critical / non-critical); fast cores drain the critical queue
+  first, slow cores the non-critical one.
+* :class:`StaticScheduler` — round-robin static assignment, the baseline the
+  paper's 6.6%/20.0% improvements are measured against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .task import Task
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "BreadthFirstScheduler",
+    "BottomLevelScheduler",
+    "WorkStealingScheduler",
+    "CriticalityAwareScheduler",
+    "StaticScheduler",
+]
+
+
+class Scheduler:
+    """Interface: the runtime pushes ready tasks and cores pop work."""
+
+    def push(self, task: Task, hint_core: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        raise NotImplementedError
+
+    def ready_tasks(self) -> Iterable[Task]:
+        """Snapshot of queued tasks (used by criticality heuristics)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.ready_tasks())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoScheduler(Scheduler):
+    """Single global FIFO queue."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Task] = deque()
+
+    def push(self, task: Task, hint_core: Optional[int] = None) -> None:
+        self._queue.append(task)
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        return self._queue.popleft() if self._queue else None
+
+    def ready_tasks(self) -> Iterable[Task]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LifoScheduler(FifoScheduler):
+    """Single global LIFO stack (depth-first execution)."""
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        return self._queue.pop() if self._queue else None
+
+
+class _HeapScheduler(Scheduler):
+    """Shared machinery for priority-ordered global queues."""
+
+    def __init__(self, key: Callable[[Task], float]) -> None:
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._key = key
+
+    def push(self, task: Task, hint_core: Optional[int] = None) -> None:
+        heapq.heappush(self._heap, (self._key(task), next(self._seq), task))
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def ready_tasks(self) -> Iterable[Task]:
+        return [entry[2] for entry in self._heap]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class BreadthFirstScheduler(_HeapScheduler):
+    """Shallowest-depth-first order (submission order breaks ties)."""
+
+    def __init__(self) -> None:
+        super().__init__(key=lambda t: t.depth)
+
+
+class BottomLevelScheduler(_HeapScheduler):
+    """Highest-bottom-level-first (HLF) list scheduling.
+
+    Requires ``graph.compute_bottom_levels()`` (the runtime's criticality
+    policies call it); tasks pushed with zero bottom level degrade to FIFO.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(key=lambda t: -t.bottom_level)
+
+
+class WorkStealingScheduler(Scheduler):
+    """Per-core deques, LIFO owner pops, FIFO steals from the fullest victim.
+
+    Victim selection is deterministic (max queue length, lowest core id as
+    tie-break) so simulated runs are exactly reproducible.
+    """
+
+    def __init__(self, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self._deques: List[deque[Task]] = [deque() for _ in range(n_cores)]
+        self._rr = itertools.count()
+        self.steals = 0
+
+    def push(self, task: Task, hint_core: Optional[int] = None) -> None:
+        if hint_core is None:
+            hint_core = next(self._rr) % len(self._deques)
+        self._deques[hint_core % len(self._deques)].append(task)
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        own = self._deques[core_id % len(self._deques)]
+        if own:
+            return own.pop()  # LIFO on own deque: locality
+        victim = max(
+            range(len(self._deques)),
+            key=lambda i: (len(self._deques[i]), -i),
+        )
+        if self._deques[victim]:
+            self.steals += 1
+            return self._deques[victim].popleft()  # FIFO steal: oldest work
+        return None
+
+    def ready_tasks(self) -> Iterable[Task]:
+        out: List[Task] = []
+        for dq in self._deques:
+            out.extend(dq)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(dq) for dq in self._deques)
+
+
+class CriticalityAwareScheduler(Scheduler):
+    """CATS: critical tasks to fast cores, the rest to slow cores.
+
+    ``is_fast_core`` partitions the machine; by default no core is "fast"
+    and the scheduler degrades to FIFO — with a DVFS/RSU machine the
+    partition is dynamic (any core boosts when given a critical task), so
+    every core prefers the critical queue when it is non-empty.
+    """
+
+    def __init__(
+        self,
+        is_fast_core: Optional[Callable[[int], bool]] = None,
+        prefer_critical_everywhere: bool = True,
+    ) -> None:
+        self._critical: deque[Task] = deque()
+        self._normal: deque[Task] = deque()
+        self.is_fast_core = is_fast_core
+        self.prefer_critical_everywhere = prefer_critical_everywhere
+
+    def push(self, task: Task, hint_core: Optional[int] = None) -> None:
+        (self._critical if task.critical else self._normal).append(task)
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        fast = self.is_fast_core(core_id) if self.is_fast_core else False
+        prefer_critical = fast or self.prefer_critical_everywhere
+        first, second = (
+            (self._critical, self._normal)
+            if prefer_critical
+            else (self._normal, self._critical)
+        )
+        if first:
+            return first.popleft()
+        if second:
+            return second.popleft()
+        return None
+
+    def ready_tasks(self) -> Iterable[Task]:
+        return list(self._critical) + list(self._normal)
+
+    def __len__(self) -> int:
+        return len(self._critical) + len(self._normal)
+
+
+class StaticScheduler(Scheduler):
+    """Round-robin static assignment: task i runs on core i mod N.
+
+    Cores only execute their own queue — no load balancing, no criticality.
+    This is the "static scheduling approach" baseline of Section 3.1.
+    """
+
+    def __init__(self, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self._queues: List[deque[Task]] = [deque() for _ in range(n_cores)]
+        self._next = itertools.count()
+
+    def push(self, task: Task, hint_core: Optional[int] = None) -> None:
+        core = hint_core if hint_core is not None else next(self._next)
+        self._queues[core % len(self._queues)].append(task)
+
+    def pop(self, core_id: int) -> Optional[Task]:
+        own = self._queues[core_id % len(self._queues)]
+        return own.popleft() if own else None
+
+    def ready_tasks(self) -> Iterable[Task]:
+        out: List[Task] = []
+        for dq in self._queues:
+            out.extend(dq)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(dq) for dq in self._queues)

@@ -1,0 +1,242 @@
+"""Tasks and data dependences — the vocabulary of the OmpSs-like runtime.
+
+The paper's central thesis is that parallel programs should be expressed as
+**tasks with data dependences**, handled by the runtime *"in the same way as
+superscalar processors manage ILP"*.  A task therefore declares the data
+regions it reads and writes (:class:`Region` + :class:`DepKind`), and the
+runtime derives the Task Dependency Graph from those declarations — the
+programmer never names another task.
+
+Cost model
+----------
+Simulated tasks carry a first-order execution cost split into a
+frequency-scaling compute part and a frequency-insensitive memory part::
+
+    duration(core) = cpu_cycles / f_core  +  mem_seconds
+
+``mem_seconds`` models time spent waiting on the memory system, which DVFS
+cannot shrink; a task with large ``mem_seconds`` sees little benefit from
+turbo — exactly the effect that makes boosting *critical, compute-bound*
+tasks the right power play in Section 3.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["DepKind", "Region", "Dependence", "Task", "TaskState"]
+
+
+class DepKind(Enum):
+    """OmpSs/OpenMP-4.0 dependence kinds.
+
+    ``IN``          task reads the region.
+    ``OUT``         task overwrites the region (no read of prior value).
+    ``INOUT``       task reads and writes the region.
+    ``CONCURRENT``  tasks in a consecutive concurrent group may run in
+                    parallel with each other (e.g. atomically-updated
+                    reductions) but are ordered against ordinary readers and
+                    writers on both sides.
+    ``COMMUTATIVE`` tasks may run in any order but not simultaneously; this
+                    runtime realises commutativity conservatively by chaining
+                    them in submission order, which is always a legal
+                    execution of the relaxed semantics.
+    """
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    CONCURRENT = "concurrent"
+    COMMUTATIVE = "commutative"
+
+    @property
+    def writes(self) -> bool:
+        return self in (DepKind.OUT, DepKind.INOUT, DepKind.COMMUTATIVE)
+
+    @property
+    def reads(self) -> bool:
+        return self in (DepKind.IN, DepKind.INOUT, DepKind.CONCURRENT, DepKind.COMMUTATIVE)
+
+
+#: Sentinel meaning "the whole object" when a region is built from a name only.
+_WHOLE = (0, 1 << 62)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named address range, the unit of dependence matching.
+
+    Mirrors Nanos++'s region-based dependence tracker: two accesses conflict
+    when they touch the *same name* and their ``[start, stop)`` intervals
+    overlap.  ``Region("x")`` denotes the whole object ``x``;
+    ``Region("x", 0, 64)`` its first 64 bytes (or elements — the unit is the
+    caller's, only consistency matters).
+    """
+
+    name: str
+    start: int = _WHOLE[0]
+    stop: int = _WHOLE[1]
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(f"empty region [{self.start}, {self.stop})")
+
+    def overlaps(self, other: "Region") -> bool:
+        return (
+            self.name == other.name
+            and self.start < other.stop
+            and other.start < self.stop
+        )
+
+    @classmethod
+    def of(cls, spec: "Region | str | Tuple[str, int, int]") -> "Region":
+        """Coerce a user-facing spec into a Region."""
+        if isinstance(spec, Region):
+            return spec
+        if isinstance(spec, str):
+            return cls(spec)
+        if isinstance(spec, tuple) and len(spec) == 3:
+            return cls(spec[0], spec[1], spec[2])
+        raise TypeError(f"cannot interpret {spec!r} as a data region")
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One declared access of a task: (kind, region)."""
+
+    kind: DepKind
+    region: Region
+
+
+class TaskState(Enum):
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class Task:
+    """A schedulable unit of work with declared data accesses.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name (used in traces).
+    cpu_cycles:
+        Frequency-scaling compute work.
+    mem_seconds:
+        Frequency-insensitive memory time.
+    deps:
+        Declared accesses; build with :meth:`Task.make` or the
+        :func:`repro.core.api.task` decorator.
+    fn / args / kwargs:
+        Optional real Python work executed when the simulated task completes
+        (completion order is a topological order of the TDG, so real values
+        are always dataflow-consistent).
+    priority:
+        Larger runs earlier among equally-ready tasks (scheduler specific).
+    """
+
+    label: str = "task"
+    cpu_cycles: float = 1e6
+    mem_seconds: float = 0.0
+    deps: List[Dependence] = field(default_factory=list)
+    fn: Optional[Callable[..., Any]] = None
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    priority: int = 0
+
+    # runtime-managed fields -------------------------------------------------
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.CREATED
+    predecessors: set = field(default_factory=set)
+    successors: set = field(default_factory=set)
+    unfinished_preds: int = 0
+    # criticality analysis results
+    bottom_level: float = 0.0
+    critical: bool = False
+    depth: int = 0
+    # bookkeeping filled in by the executor
+    submit_time: Optional[float] = None
+    ready_time: Optional[float] = None
+    core_id: Optional[int] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_cycles < 0 or self.mem_seconds < 0:
+            raise ValueError("task cost components must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def make(
+        cls,
+        label: str = "task",
+        cpu_cycles: float = 1e6,
+        mem_seconds: float = 0.0,
+        in_: Sequence = (),
+        out: Sequence = (),
+        inout: Sequence = (),
+        concurrent: Sequence = (),
+        commutative: Sequence = (),
+        fn: Optional[Callable[..., Any]] = None,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        priority: int = 0,
+    ) -> "Task":
+        """Convenience constructor turning region specs into dependences."""
+        deps: List[Dependence] = []
+        for kind, specs in (
+            (DepKind.IN, in_),
+            (DepKind.OUT, out),
+            (DepKind.INOUT, inout),
+            (DepKind.CONCURRENT, concurrent),
+            (DepKind.COMMUTATIVE, commutative),
+        ):
+            for spec in specs:
+                deps.append(Dependence(kind, Region.of(spec)))
+        return cls(
+            label=label,
+            cpu_cycles=cpu_cycles,
+            mem_seconds=mem_seconds,
+            deps=deps,
+            fn=fn,
+            args=args,
+            kwargs=kwargs or {},
+            priority=priority,
+        )
+
+    # ------------------------------------------------------------------
+    def duration_at(self, frequency_hz: float) -> float:
+        """Execution time at a given core frequency (seconds)."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.cpu_cycles / frequency_hz + self.mem_seconds
+
+    def reference_work(self, reference_hz: float = 1e9) -> float:
+        """Scalar 'amount of work' used by critical-path analysis.
+
+        Measured as the duration at a reference frequency so that compute
+        and memory components combine into one number.
+        """
+        return self.duration_at(reference_hz)
+
+    def writes_any(self) -> bool:
+        return any(d.kind.writes for d in self.deps)
+
+    def __hash__(self) -> int:
+        return self.task_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Task) and other.task_id == self.task_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Task(#{self.task_id} {self.label!r}, {self.state.value})"

@@ -1,0 +1,148 @@
+"""Set-associative write-back caches with true LRU replacement.
+
+Tag-only simulation: the model tracks which lines are resident and dirty but
+stores no data.  ``access`` returns what happened (hit / miss) plus any
+dirty victim that must be written back, so the caller (the hierarchy) can
+generate the corresponding refill and writeback traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..sim.stats import StatSet
+
+__all__ = ["SetAssocCache", "CacheAccessResult"]
+
+
+class CacheAccessResult:
+    """Outcome of one cache access."""
+
+    __slots__ = ("hit", "victim_addr", "victim_dirty")
+
+    def __init__(self, hit: bool, victim_addr: Optional[int], victim_dirty: bool):
+        self.hit = hit
+        self.victim_addr = victim_addr
+        self.victim_dirty = victim_dirty
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CacheAccessResult(hit={self.hit}, victim={self.victim_addr}, "
+            f"dirty={self.victim_dirty})"
+        )
+
+
+class SetAssocCache:
+    """A ``size_bytes`` cache of ``ways``-way sets with ``line_bytes`` lines.
+
+    LRU state per set is an :class:`~collections.OrderedDict` mapping line
+    address to its dirty bit; the most recently used line sits at the end.
+    """
+
+    def __init__(
+        self, size_bytes: int, line_bytes: int, ways: int, name: str = "cache"
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError("size must be a multiple of line_bytes * ways")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (line_bytes * ways)
+        self.name = name
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = StatSet(name)
+
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _set_index(self, line: int) -> int:
+        return (line // self.line_bytes) % self.n_sets
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def is_dirty(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        return bool(self._sets[self._set_index(line)].get(line, False))
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, write: bool) -> CacheAccessResult:
+        """Look up ``addr``; on a miss, allocate (write-allocate policy).
+
+        Returns the result including any dirty victim evicted to make room.
+        """
+        line = self.line_addr(addr)
+        s = self._sets[self._set_index(line)]
+        if line in s:
+            s.move_to_end(line)
+            if write:
+                s[line] = True
+            self.stats.add("hits")
+            if write:
+                self.stats.add("write_hits")
+            return CacheAccessResult(True, None, False)
+
+        self.stats.add("misses")
+        if write:
+            self.stats.add("write_misses")
+        victim_addr = None
+        victim_dirty = False
+        if len(s) >= self.ways:
+            victim_addr, victim_dirty = s.popitem(last=False)  # LRU
+            self.stats.add("evictions")
+            if victim_dirty:
+                self.stats.add("dirty_evictions")
+        s[line] = bool(write)
+        return CacheAccessResult(False, victim_addr, victim_dirty)
+
+    def fill(self, addr: int, dirty: bool = False) -> Tuple[Optional[int], bool]:
+        """Install a line without counting a demand access (DMA / prefetch).
+
+        Returns ``(victim_addr, victim_dirty)``.
+        """
+        line = self.line_addr(addr)
+        s = self._sets[self._set_index(line)]
+        if line in s:
+            s.move_to_end(line)
+            s[line] = s[line] or dirty
+            return None, False
+        victim_addr, victim_dirty = None, False
+        if len(s) >= self.ways:
+            victim_addr, victim_dirty = s.popitem(last=False)
+        s[line] = dirty
+        return victim_addr, victim_dirty
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line (coherence invalidation); returns True if present."""
+        line = self.line_addr(addr)
+        s = self._sets[self._set_index(line)]
+        if line in s:
+            del s[line]
+            self.stats.add("invalidations")
+            return True
+        return False
+
+    def flush_dirty(self) -> List[int]:
+        """Return and clean all dirty lines (end-of-phase writeback)."""
+        out = []
+        for s in self._sets:
+            for line, dirty in s.items():
+                if dirty:
+                    out.append(line)
+                    s[line] = False
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        h = self.stats.get("hits")
+        m = self.stats.get("misses")
+        return h / (h + m) if h + m else 0.0
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

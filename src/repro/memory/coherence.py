@@ -1,0 +1,117 @@
+"""Directory-based MSI coherence for the cache hierarchy.
+
+Every L2 bank is the *home* of the lines that map to it and keeps a
+directory entry per tracked line: the set of cores with a copy and, when a
+core holds the line modified, that owner.  The protocol generates exactly
+the message pattern whose elimination for strided data is one of Figure 1's
+three wins:
+
+* read miss with a remote modified owner → fetch-from-owner + downgrade,
+* write (hit on shared, or miss) → invalidations to all sharers + acks,
+* dirty L1 eviction → writeback to home.
+
+The directory is *full-map precise*: stale entries are cleaned when L1
+evictions are reported (the hierarchy reports them, as silent-drop clean
+evictions would otherwise inflate invalidation traffic forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..sim.stats import StatSet
+
+__all__ = ["DirectoryEntry", "CoherenceDirectory", "CoherenceOutcome"]
+
+
+@dataclass
+class DirectoryEntry:
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None  # core holding the line Modified
+
+
+@dataclass(frozen=True)
+class CoherenceOutcome:
+    """What the protocol had to do to satisfy one request.
+
+    ``invalidations`` — copies invalidated (control msg + ack each).
+    ``owner_forward`` — core that had the line Modified and supplied data.
+    """
+
+    invalidations: int
+    owner_forward: Optional[int]
+
+
+class CoherenceDirectory:
+    """Full-map MSI directory for the lines of one (logical) home L2."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.stats = StatSet("coherence")
+
+    def entry(self, line: int) -> DirectoryEntry:
+        e = self._entries.get(line)
+        if e is None:
+            e = DirectoryEntry()
+            self._entries[line] = e
+        return e
+
+    def peek(self, line: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line)
+
+    # ------------------------------------------------------------------
+    def read(self, line: int, core: int) -> CoherenceOutcome:
+        """Core ``core`` read-misses on ``line``."""
+        e = self.entry(line)
+        forward = None
+        if e.owner is not None and e.owner != core:
+            # Owner must write back / forward; it stays on as a sharer.
+            forward = e.owner
+            e.sharers.add(e.owner)
+            e.owner = None
+            self.stats.add("owner_forwards")
+        e.sharers.add(core)
+        return CoherenceOutcome(0, forward)
+
+    def write(self, line: int, core: int) -> CoherenceOutcome:
+        """Core ``core`` writes ``line`` (miss or upgrade)."""
+        e = self.entry(line)
+        forward = None
+        if e.owner is not None and e.owner != core:
+            forward = e.owner
+            self.stats.add("owner_forwards")
+        victims = (e.sharers | ({e.owner} if e.owner is not None else set())) - {core}
+        n_inv = len(victims)
+        if n_inv:
+            self.stats.add("invalidations", n_inv)
+        e.sharers = set()
+        e.owner = core
+        return CoherenceOutcome(n_inv, forward)
+
+    def evicted(self, line: int, core: int, dirty: bool) -> None:
+        """An L1 dropped its copy; keep the directory precise."""
+        e = self._entries.get(line)
+        if e is None:
+            return
+        e.sharers.discard(core)
+        if e.owner == core:
+            e.owner = None
+            if dirty:
+                self.stats.add("dirty_writebacks")
+        if not e.sharers and e.owner is None:
+            del self._entries[line]
+
+    # ------------------------------------------------------------------
+    def copies_of(self, line: int) -> Set[int]:
+        e = self._entries.get(line)
+        if e is None:
+            return set()
+        out = set(e.sharers)
+        if e.owner is not None:
+            out.add(e.owner)
+        return out
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,148 @@
+"""The compiler side of the hybrid hierarchy: reference classification.
+
+Section 2: *"simple modifications to the compiler analyses so that it can
+classify memory references in three categories: strided memory references,
+random memory references that do not alias with strided ones, and random
+memory references with unknown aliases."*
+
+We model the analysis at the level it actually operates: symbolic array
+references inside a loop nest.  A reference is an :class:`ArrayRef` whose
+index expression is affine in the loop induction variable (strided),
+indirect through another array (random), or opaque (unknown).  Alias
+classification uses declared may-point-to sets: an indirect/opaque
+reference that may target a strided array cannot be proven disjoint and is
+classified ``RANDOM_UNKNOWN``; one whose targets are all non-SPM arrays is
+``RANDOM_NOALIAS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .access import RefClass
+
+__all__ = ["ArrayDecl", "IndexExpr", "Affine", "Indirect", "Opaque", "ArrayRef",
+           "LoopNest", "classify", "ClassifiedRef"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A program array: name, element count, element size in bytes."""
+
+    name: str
+    elements: int
+    elem_bytes: int = 8
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * self.elem_bytes
+
+
+class IndexExpr:
+    """Base class of index expressions the analysis understands."""
+
+
+@dataclass(frozen=True)
+class Affine(IndexExpr):
+    """``stride * i + offset`` — a strided access pattern."""
+
+    stride: int = 1
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Indirect(IndexExpr):
+    """``index_array[i]`` — a data-dependent (random) access pattern."""
+
+    index_array: str
+
+
+@dataclass(frozen=True)
+class Opaque(IndexExpr):
+    """An expression the analysis cannot see through (pointer arithmetic,
+    function call result...)."""
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One reference ``array[index]`` with its read/write direction."""
+
+    array: str
+    index: IndexExpr
+    is_write: bool = False
+
+
+@dataclass
+class LoopNest:
+    """A loop with its references and the alias facts the compiler has.
+
+    ``may_alias`` maps an array name to the set of arrays a pointer-based
+    access through it might actually touch (points-to analysis output).
+    An empty/missing entry means the compiler has *no* information — the
+    conservative assumption is that it may alias anything.
+    """
+
+    arrays: Dict[str, ArrayDecl]
+    refs: List[ArrayRef]
+    may_alias: Dict[str, Optional[Set[str]]] = field(default_factory=dict)
+
+    def declared(self, name: str) -> ArrayDecl:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise KeyError(f"reference to undeclared array {name!r}") from None
+
+
+@dataclass(frozen=True)
+class ClassifiedRef:
+    """The pass's verdict for one reference."""
+
+    ref: ArrayRef
+    cls: RefClass
+    #: arrays whose SPM mapping makes this reference dangerous (unknown only)
+    hazard_arrays: FrozenSet[str] = frozenset()
+
+
+def _strided_arrays(nest: LoopNest) -> Set[str]:
+    """Arrays accessed through at least one affine reference (SPM candidates)."""
+    return {r.array for r in nest.refs if isinstance(r.index, Affine)}
+
+
+def classify(nest: LoopNest) -> List[ClassifiedRef]:
+    """Run the classification over every reference of the loop nest.
+
+    Rules (in order):
+
+    1. affine index                      -> ``STRIDED``
+    2. non-affine index whose may-alias set provably avoids every strided
+       (SPM-candidate) array             -> ``RANDOM_NOALIAS``
+    3. anything else                     -> ``RANDOM_UNKNOWN``
+    """
+    spm_candidates = _strided_arrays(nest)
+    out: List[ClassifiedRef] = []
+    for ref in nest.refs:
+        nest.declared(ref.array)  # validate
+        if isinstance(ref.index, Affine):
+            out.append(ClassifiedRef(ref, RefClass.STRIDED))
+            continue
+        # Which arrays might this reference actually touch?
+        targets = nest.may_alias.get(ref.array)
+        if targets is None:
+            # No alias information: may touch anything, including SPM data.
+            hazards = frozenset(spm_candidates)
+        else:
+            hazards = frozenset(targets & spm_candidates)
+        if hazards:
+            out.append(ClassifiedRef(ref, RefClass.RANDOM_UNKNOWN, hazards))
+        else:
+            out.append(ClassifiedRef(ref, RefClass.RANDOM_NOALIAS))
+    return out
+
+
+def class_mix(classified: Iterable[ClassifiedRef]) -> Dict[str, int]:
+    """Histogram of verdicts, for reporting and tests."""
+    out = {c.name.lower(): 0 for c in RefClass}
+    for c in classified:
+        out[c.cls.name.lower()] += 1
+    return out

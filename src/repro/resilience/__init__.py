@@ -1,0 +1,49 @@
+"""Algorithmic DUE recovery for iterative solvers (the Figure 4 substrate).
+
+Synthetic thermal SPD systems (:mod:`~repro.resilience.matrices`), an
+instrumented CG solver (:mod:`~repro.resilience.cg`), DUE injection
+(:mod:`~repro.resilience.faults`), the recovery schemes — checkpointing,
+lossy restart, FEIR and task-overlapped AFEIR
+(:mod:`~repro.resilience.recovery`) — and the Figure 4 experiment driver
+(:mod:`~repro.resilience.fig4`).
+"""
+
+from .cg import CgRecord, CgResult, CgState, CgTiming, run_cg
+from .faults import DueEvent, inject
+from .fig4 import Fig4Setup, ascii_plot, convergence_times, fig4_curves
+from .matrices import laplacian_2d, make_rhs, thermal2_proxy
+from .recovery import (
+    AfeirScheme,
+    CheckpointScheme,
+    FeirScheme,
+    IdealScheme,
+    LossyRestartScheme,
+    RecoveryScheme,
+    afeir_visible_overhead,
+    exact_block_recovery,
+)
+
+__all__ = [
+    "CgRecord",
+    "CgResult",
+    "CgState",
+    "CgTiming",
+    "run_cg",
+    "DueEvent",
+    "inject",
+    "Fig4Setup",
+    "ascii_plot",
+    "convergence_times",
+    "fig4_curves",
+    "laplacian_2d",
+    "make_rhs",
+    "thermal2_proxy",
+    "AfeirScheme",
+    "CheckpointScheme",
+    "FeirScheme",
+    "IdealScheme",
+    "LossyRestartScheme",
+    "RecoveryScheme",
+    "afeir_visible_overhead",
+    "exact_block_recovery",
+]

@@ -1,0 +1,166 @@
+"""Instrumented Conjugate Gradient with pluggable DUE recovery.
+
+The solver is a textbook CG on a sparse SPD system, extended with the two
+hooks the Section 4 experiments need:
+
+* a *timing model* translating iterations and recovery actions into
+  simulated seconds (Figure 4's x-axis) — per-iteration cost is the
+  dominant SpMV plus vector work at a fixed flop rate, so "time" is
+  deterministic and machine-independent;
+* a *recovery scheme* notified on every iteration (checkpointing) and on
+  the DUE itself (rollback / restart / interpolation).
+
+The residual is tracked recursively as in production CG; after any
+recovery action the true residual ``b - Ax`` is recomputed explicitly,
+both because real recoveries must and because it keeps the recorded
+convergence curves honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .faults import DueEvent, inject
+
+__all__ = ["CgTiming", "CgState", "CgRecord", "CgResult", "run_cg"]
+
+
+@dataclass(frozen=True)
+class CgTiming:
+    """Simulated-time model of the solver."""
+
+    iter_seconds: float = 0.09  # one CG iteration (SpMV + 5 vector ops)
+    checkpoint_seconds: float = 1.0  # serialising x, r, p to stable storage
+    rollback_seconds: float = 1.0  # reading a checkpoint back
+    restart_seconds: float = 0.35  # recompute r = b - Ax, reset p
+    local_solve_seconds: float = 2.5  # FEIR block solve (sync cost)
+    afeir_merge_seconds: float = 0.2  # folding deferred updates back in
+
+
+@dataclass
+class CgState:
+    """Mutable solver state shared with recovery schemes."""
+
+    a: sp.csr_matrix
+    b: np.ndarray
+    x: np.ndarray
+    r: np.ndarray
+    p: np.ndarray
+    rz: float
+    iteration: int = 0
+    time_s: float = 0.0
+
+    def refresh_residual(self) -> None:
+        """Recompute the true residual and restart the CG direction."""
+        self.r = self.b - self.a @ self.x
+        self.p = self.r.copy()
+        self.rz = float(self.r @ self.r)
+
+
+@dataclass(frozen=True)
+class CgRecord:
+    time_s: float
+    iteration: int
+    residual: float
+
+
+@dataclass
+class CgResult:
+    scheme: str
+    records: List[CgRecord]
+    converged: bool
+    iterations: int
+    time_s: float
+    x: np.ndarray
+    fault_time_s: Optional[float] = None
+
+    def convergence_time(self) -> float:
+        """Time of the last record (time to converge when ``converged``)."""
+        return self.records[-1].time_s if self.records else 0.0
+
+    def curve(self) -> List[tuple]:
+        """(time, log10 residual) points, Figure 4's axes."""
+        return [
+            (rec.time_s, float(np.log10(max(rec.residual, 1e-300))))
+            for rec in self.records
+        ]
+
+
+def run_cg(
+    a: sp.csr_matrix,
+    b: np.ndarray,
+    scheme,
+    due: Optional[DueEvent] = None,
+    tol: float = 1e-8,
+    max_iterations: int = 20000,
+    timing: Optional[CgTiming] = None,
+    x0: Optional[np.ndarray] = None,
+) -> CgResult:
+    """Solve ``Ax = b`` with CG under ``scheme``; optionally inject ``due``.
+
+    ``scheme`` implements the :class:`~repro.resilience.recovery
+    .RecoveryScheme` protocol.  The DUE fires at the first iteration
+    boundary past ``due.time_s``; ``scheme.on_due`` must leave the state
+    numerically usable (no NaNs) or the run will fail to converge —
+    nothing here silently repairs a bad scheme.
+    """
+    timing = timing or CgTiming()
+    n = a.shape[0]
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    r = b - a @ x
+    state = CgState(a=a, b=b, x=x, r=r, p=r.copy(), rz=float(r @ r))
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    records: List[CgRecord] = [
+        CgRecord(0.0, 0, float(np.linalg.norm(state.r)) / b_norm)
+    ]
+    scheme.on_start(state, timing)
+    fault_pending = due is not None
+    converged = False
+
+    while state.iteration < max_iterations:
+        if fault_pending and state.time_s >= due.time_s:
+            fault_pending = False
+            inject(getattr(state, due.vector), due)
+            state.time_s += scheme.on_due(state, due, timing)
+            records.append(
+                CgRecord(
+                    state.time_s,
+                    state.iteration,
+                    float(np.linalg.norm(state.r)) / b_norm,
+                )
+            )
+
+        # one CG iteration -------------------------------------------------
+        ap = state.a @ state.p
+        alpha = state.rz / float(state.p @ ap)
+        state.x += alpha * state.p
+        state.r -= alpha * ap
+        rz_new = float(state.r @ state.r)
+        beta = rz_new / state.rz
+        state.p = state.r + beta * state.p
+        state.rz = rz_new
+        state.iteration += 1
+        state.time_s += timing.iter_seconds
+        state.time_s += scheme.on_iteration(state, timing)
+
+        res = float(np.sqrt(rz_new)) / b_norm
+        records.append(CgRecord(state.time_s, state.iteration, res))
+        if not np.isfinite(res):
+            break
+        if res < tol:
+            converged = True
+            break
+
+    return CgResult(
+        scheme=scheme.name,
+        records=records,
+        converged=converged,
+        iterations=state.iteration,
+        time_s=state.time_s,
+        x=state.x,
+        fault_time_s=due.time_s if due else None,
+    )

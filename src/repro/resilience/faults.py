@@ -1,0 +1,54 @@
+"""Detected and Uncorrected Error (DUE) injection.
+
+Section 4 targets DUEs under a *fine-grained* error model: ECC (or a
+memory-protection fault) reports that a block of a vector is lost, the
+surrounding data is intact, and the runtime is told which block died.
+That is the granularity at which the algorithmic recoveries operate —
+coarser models (whole-node loss) would not leave the redundancy the
+interpolation exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DueEvent", "inject"]
+
+
+@dataclass(frozen=True)
+class DueEvent:
+    """One detected-uncorrected error.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated solver time at which the DUE is detected.
+    vector:
+        Which solver vector loses data (``"x"`` — the iterate — in the
+        Figure 4 scenario).
+    block_start, block_len:
+        The lost index range (e.g. one 2 KiB page of doubles = 256 rows).
+    """
+
+    time_s: float
+    vector: str = "x"
+    block_start: int = 0
+    block_len: int = 256
+
+    def block(self) -> slice:
+        return slice(self.block_start, self.block_start + self.block_len)
+
+
+def inject(vec: np.ndarray, event: DueEvent) -> np.ndarray:
+    """Destroy the event's block in ``vec`` (in place; returns it).
+
+    The lost values are overwritten with NaN — any use of the block
+    without recovery poisons the computation, which is exactly what tests
+    assert recovery schemes must prevent.
+    """
+    if event.block_start < 0 or event.block_start + event.block_len > len(vec):
+        raise ValueError("DUE block outside vector bounds")
+    vec[event.block()] = np.nan
+    return vec

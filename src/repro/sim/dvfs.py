@@ -1,0 +1,149 @@
+"""DVFS reconfiguration controllers: software path vs. hardware RSU path.
+
+Section 3.1 of the paper argues that *"the cost of reconfiguring the hardware
+with a software-only solution rises with the number of cores due to locks
+contention and reconfiguration overhead"*, motivating the Runtime Support
+Unit.  This module models exactly that trade-off:
+
+* :class:`SoftwareDvfsController` — frequency changes go through the OS/
+  driver path: a single global voltage-regulator lock serialises requests,
+  and each reconfiguration occupies the lock for a fixed latency (tens of
+  microseconds on real parts).  Under contention a request's total overhead
+  is its queueing delay plus the reconfiguration itself, and the requesting
+  core *stalls* for that time — so the overhead grows with core count.
+
+* :class:`RsuDvfsController` — the RSU accepts the request over a dedicated
+  on-chip interface in ~100 ns and applies the level change autonomously; the
+  requesting core does not stall beyond the interface write.
+
+Both controllers apply the same *policy* (criticality-aware level selection
+under a chip power budget, see :class:`repro.sim.rsu.RuntimeSupportUnit`);
+only the mechanism cost differs, which is the point of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import Machine
+from .stats import StatSet
+
+__all__ = [
+    "DvfsRequestResult",
+    "DvfsController",
+    "SoftwareDvfsController",
+    "RsuDvfsController",
+]
+
+
+@dataclass(frozen=True)
+class DvfsRequestResult:
+    """Outcome of a frequency-change request.
+
+    Attributes
+    ----------
+    level:
+        The DVFS level actually granted (policy may refuse turbo when the
+        power budget is exhausted).
+    stall_seconds:
+        How long the *requesting core* is stalled by the mechanism.  The
+        runtime adds this to the task's start latency.
+    applied_at:
+        Simulated time at which the new level takes effect.
+    """
+
+    level: int
+    stall_seconds: float
+    applied_at: float
+
+
+class DvfsController:
+    """Interface shared by the software and RSU mechanisms."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.stats = StatSet(type(self).__name__)
+
+    def request_level(self, core_id: int, level: int, now: float) -> DvfsRequestResult:
+        """Ask for core ``core_id`` to run at ``level`` starting at ``now``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _apply(self, core_id: int, level: int, at: float) -> None:
+        core = self.machine.cores[core_id]
+        # Defensive: energy integration requires monotonically advancing
+        # per-core time; the controller guarantees at >= now >= last update.
+        core.set_level(at, level)
+
+
+class SoftwareDvfsController(DvfsController):
+    """OS-driver DVFS path with a single global lock.
+
+    Parameters
+    ----------
+    reconfig_latency_s:
+        Time the voltage regulator needs per level change while holding the
+        lock.  50 us is representative of 2015-era ACPI P-state transitions.
+    syscall_latency_s:
+        Fixed user->kernel entry/exit cost paid by every request, even when
+        the lock is free.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        reconfig_latency_s: float = 50e-6,
+        syscall_latency_s: float = 2e-6,
+    ) -> None:
+        super().__init__(machine)
+        self.reconfig_latency_s = reconfig_latency_s
+        self.syscall_latency_s = syscall_latency_s
+        self._lock_free_at = 0.0
+
+    def request_level(self, core_id: int, level: int, now: float) -> DvfsRequestResult:
+        self.stats.add("requests")
+        core = self.machine.cores[core_id]
+        if level == core.level:
+            # Still pays the syscall to discover nothing to do.
+            self.stats.add("noop_requests")
+            return DvfsRequestResult(level, self.syscall_latency_s, now)
+        enter = now + self.syscall_latency_s
+        start = max(enter, self._lock_free_at)
+        waited = start - enter
+        self.stats.add("lock_wait_seconds", waited)
+        done = start + self.reconfig_latency_s
+        self._lock_free_at = done
+        self._apply(core_id, level, done)
+        stall = done - now
+        self.stats.add("stall_seconds", stall)
+        return DvfsRequestResult(level, stall, done)
+
+
+class RsuDvfsController(DvfsController):
+    """Hardware Runtime Support Unit DVFS path.
+
+    The requesting core only pays a memory-mapped register write
+    (``interface_latency_s``); the RSU applies the change after its internal
+    arbitration latency without stalling the core further.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        interface_latency_s: float = 100e-9,
+        apply_latency_s: float = 500e-9,
+    ) -> None:
+        super().__init__(machine)
+        self.interface_latency_s = interface_latency_s
+        self.apply_latency_s = apply_latency_s
+
+    def request_level(self, core_id: int, level: int, now: float) -> DvfsRequestResult:
+        self.stats.add("requests")
+        core = self.machine.cores[core_id]
+        if level == core.level:
+            self.stats.add("noop_requests")
+            return DvfsRequestResult(level, self.interface_latency_s, now)
+        applied = now + self.interface_latency_s + self.apply_latency_s
+        self._apply(core_id, level, applied)
+        self.stats.add("stall_seconds", self.interface_latency_s)
+        return DvfsRequestResult(level, self.interface_latency_s, applied)

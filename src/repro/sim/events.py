@@ -1,0 +1,144 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction is driven by a small discrete-event engine: the task
+runtime, the DVFS controllers and the memory hierarchy all schedule callbacks
+on a shared :class:`Simulator`.  Time is measured in **seconds** (floats);
+components that think in cycles convert through their local frequency.
+
+The engine is deliberately minimal — a binary heap of timestamped events with
+deterministic FIFO tie-breaking — because determinism matters more than
+throughput here: every benchmark must produce identical numbers on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``: two events at the same timestamp fire in
+    the order they were scheduled, which keeps runs reproducible.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest live event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1e-6, lambda: print("fired at", sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time} < now={self.now})"
+            )
+        return self.queue.push(time, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue yielded an event in the past")
+        self.now = event.time
+        self.events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is inclusive: events exactly at ``until`` still fire.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.events_processed = 0

@@ -1,0 +1,128 @@
+"""Network-on-chip model: 2-D mesh with XY routing.
+
+Figure 1 of the paper reports **NoC traffic** reduction as one of the three
+benefits of the hybrid memory hierarchy, so the NoC model must account for
+every message the memory system generates: cache-line refills and writebacks,
+coherence control (invalidations/acknowledgements), SPM DMA transfers and
+directory/filter lookups.
+
+The model is topological rather than cycle-accurate: a message of ``flits``
+flits travelling ``hops`` hops contributes ``flits * hops`` flit-hops of
+traffic, ``hops * hop_latency + flits / link_width`` cycles of latency, and
+``flits * hops * e_flit_hop`` joules of energy.  This is the standard
+first-order NoC accounting (Dally & Towles) used by the ISCA'15 hybrid-memory
+evaluation that Figure 1 summarises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .stats import StatSet
+
+__all__ = ["MeshNoC", "NocParams"]
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Latency/energy constants for the mesh.
+
+    Defaults follow the 32 nm CACTI/Orion-class figures used in the hybrid
+    memory hierarchy paper's methodology: ~1 cycle per router hop, 0.1 pJ per
+    flit-hop, 16-byte links.
+    """
+
+    hop_latency_cycles: float = 1.0
+    flit_bytes: int = 16
+    energy_per_flit_hop_pj: float = 0.10
+    frequency_ghz: float = 1.0  # NoC clock used to convert cycles to seconds
+
+
+class MeshNoC:
+    """A ``width x height`` mesh connecting cores and memory endpoints.
+
+    Nodes are numbered row-major: node ``i`` sits at
+    ``(i % width, i // width)``.  Shared L2 banks / memory controllers are
+    assigned to nodes by the memory hierarchy; the NoC only computes hop
+    distances and accumulates traffic/energy/latency statistics.
+    """
+
+    def __init__(self, width: int, height: int, params: NocParams | None = None) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.params = params or NocParams()
+        self.stats = StatSet("noc")
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @classmethod
+    def square_for(cls, n_nodes: int, params: NocParams | None = None) -> "MeshNoC":
+        """Smallest square-ish mesh with at least ``n_nodes`` nodes."""
+        side = int(math.ceil(math.sqrt(n_nodes)))
+        height = int(math.ceil(n_nodes / side))
+        return cls(side, height, params)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} outside mesh")
+        return node % self.width, node // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan (XY-routed) hop distance between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def avg_hops(self) -> float:
+        """Mean hop distance over all ordered node pairs (uniform traffic)."""
+        total = 0
+        for s in range(self.n_nodes):
+            for d in range(self.n_nodes):
+                total += self.hops(s, d)
+        return total / (self.n_nodes**2)
+
+    # ------------------------------------------------------------------
+    # traffic accounting
+    # ------------------------------------------------------------------
+    def flits_for_bytes(self, nbytes: int) -> int:
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        return max(1, math.ceil(nbytes / self.params.flit_bytes))
+
+    def send(self, src: int, dst: int, nbytes: int, kind: str = "data") -> float:
+        """Account one message; returns its latency in **seconds**.
+
+        ``kind`` partitions the traffic counters (``data``, ``control``,
+        ``dma``, ``coherence`` ...) so benchmarks can attribute reductions.
+        """
+        hops = self.hops(src, dst)
+        flits = self.flits_for_bytes(nbytes)
+        flit_hops = flits * max(hops, 1)
+        self.stats.add("messages")
+        self.stats.add("flits", flits)
+        self.stats.add("flit_hops", flit_hops)
+        self.stats.add(f"flit_hops.{kind}", flit_hops)
+        self.stats.add("bytes", nbytes)
+        energy_j = flit_hops * self.params.energy_per_flit_hop_pj * 1e-12
+        self.stats.add("energy_j", energy_j)
+        latency_cycles = (
+            hops * self.params.hop_latency_cycles + flits
+        )  # serialization at one flit/cycle
+        return latency_cycles / (self.params.frequency_ghz * 1e9)
+
+    @property
+    def total_flit_hops(self) -> float:
+        return self.stats.get("flit_hops")
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.stats.get("energy_j")

@@ -1,0 +1,153 @@
+"""Runtime Support Unit (RSU): criticality-aware frequency allocation.
+
+Figure 2 of the paper sketches the RSU: *"The runtime system is in charge of
+informing the Runtime Support Unit (RSU) of the criticality of each running
+task.  Based on this information and the available power budget, the RSU
+decides the frequency of each core, which can be seen as a criticality-aware
+turbo boost mechanism."*
+
+This module implements that decision logic as a reusable *policy*, separate
+from the reconfiguration *mechanism* (see :mod:`repro.sim.dvfs`):
+
+* every core has an entry in the criticality table (critical / non-critical /
+  idle);
+* critical tasks are boosted to the highest DVFS level the chip power budget
+  allows;
+* non-critical tasks are throttled to an energy-efficient level — by default
+  the lowest one, which is what yields the EDP gains of Section 3.1;
+* when the budget cannot accommodate another boosted core, the RSU grants the
+  highest level that fits (graceful degradation rather than rejection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from .dvfs import DvfsController, DvfsRequestResult
+from .machine import Machine
+from .stats import StatSet
+
+__all__ = ["TaskCriticality", "RsuPolicy", "RuntimeSupportUnit"]
+
+
+class TaskCriticality(Enum):
+    """What the runtime tells the RSU about the task a core is running."""
+
+    IDLE = 0
+    NON_CRITICAL = 1
+    CRITICAL = 2
+
+
+@dataclass(frozen=True)
+class RsuPolicy:
+    """Tunable knobs of the RSU allocation policy.
+
+    Attributes
+    ----------
+    boost_level:
+        Level requested for critical tasks (defaults to the table's top).
+    efficient_level:
+        Level for non-critical tasks (defaults to the table's bottom).
+    idle_level:
+        Level for idle cores.
+    respect_budget:
+        When True, boosts are capped so projected chip power stays within
+        the machine's ``power_budget_w``.  The naive "turbo everything"
+        ablation sets this to False.
+    """
+
+    boost_level: Optional[int] = None
+    efficient_level: Optional[int] = None
+    idle_level: Optional[int] = None
+    respect_budget: bool = True
+
+
+class RuntimeSupportUnit:
+    """Criticality table + power-budget-aware level selection.
+
+    The RSU is mechanism-agnostic: it computes *which* level a core should
+    run at, then delegates the actual transition to whatever
+    :class:`~repro.sim.dvfs.DvfsController` it was built with (hardware RSU
+    path or, for the comparison experiments, the software path applying the
+    same policy).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        controller: DvfsController,
+        policy: RsuPolicy | None = None,
+    ) -> None:
+        self.machine = machine
+        self.controller = controller
+        policy = policy or RsuPolicy()
+        table = machine.dvfs
+        self.boost_level = (
+            table.max_level if policy.boost_level is None else policy.boost_level
+        )
+        self.efficient_level = (
+            table.min_level
+            if policy.efficient_level is None
+            else policy.efficient_level
+        )
+        self.idle_level = (
+            table.min_level if policy.idle_level is None else policy.idle_level
+        )
+        self.respect_budget = policy.respect_budget
+        self.criticality: Dict[int, TaskCriticality] = {
+            c.core_id: TaskCriticality.IDLE for c in machine.cores
+        }
+        self.stats = StatSet("rsu")
+
+    # ------------------------------------------------------------------
+    def _budget_capped_level(self, core_id: int, desired: int) -> int:
+        """Highest level <= desired that keeps the chip within budget."""
+        budget = self.machine.power_budget_w
+        if budget is None or not self.respect_budget:
+            return desired
+        levels = [c.level for c in self.machine.cores]
+        busy = [
+            self.criticality[c.core_id] != TaskCriticality.IDLE
+            for c in self.machine.cores
+        ]
+        busy[core_id] = True
+        for level in range(desired, self.efficient_level - 1, -1):
+            levels[core_id] = level
+            if self.machine.power_if_levels(levels, busy) <= budget:
+                return level
+        self.stats.add("budget_denials")
+        return self.efficient_level
+
+    def desired_level(self, criticality: TaskCriticality) -> int:
+        if criticality is TaskCriticality.CRITICAL:
+            return self.boost_level
+        if criticality is TaskCriticality.NON_CRITICAL:
+            return self.efficient_level
+        return self.idle_level
+
+    # ------------------------------------------------------------------
+    def notify_task_start(
+        self, core_id: int, critical: bool, now: float
+    ) -> DvfsRequestResult:
+        """Runtime informs the RSU that a task starts on ``core_id``.
+
+        Returns the mechanism's :class:`DvfsRequestResult`; the runtime must
+        delay the task body by ``stall_seconds``.
+        """
+        crit = TaskCriticality.CRITICAL if critical else TaskCriticality.NON_CRITICAL
+        self.criticality[core_id] = crit
+        self.stats.add("notifications")
+        if critical:
+            self.stats.add("critical_notifications")
+        desired = self.desired_level(crit)
+        granted = self._budget_capped_level(core_id, desired)
+        if granted < desired:
+            self.stats.add("capped_boosts")
+        return self.controller.request_level(core_id, granted, now)
+
+    def notify_task_end(self, core_id: int, now: float) -> DvfsRequestResult:
+        """Runtime informs the RSU that ``core_id`` went idle."""
+        self.criticality[core_id] = TaskCriticality.IDLE
+        return self.controller.request_level(core_id, self.idle_level, now)

@@ -1,0 +1,149 @@
+"""Statistics collection for simulator components.
+
+Every architectural model (caches, SPMs, NoC, cores, schedulers) accumulates
+its observable behaviour into a :class:`StatSet` so that benchmarks can diff
+configurations without poking at component internals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["StatSet", "Timeline", "WeightedMean"]
+
+
+class StatSet:
+    """A named bag of additive counters.
+
+    Counters are created on first use and always default to zero, so model
+    code can ``stats.add("l1.hits")`` without registration boilerplate.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, value: float = 1.0) -> None:
+        self._counters[key] += value
+
+    def get(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __getitem__(self, key: str) -> float:
+        return self.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def merge(self, other: "StatSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for key, value in other._counters.items():
+            self._counters[key] += value
+
+    def scaled(self, factor: float) -> "StatSet":
+        out = StatSet(self.name)
+        for key, value in self._counters.items():
+            out._counters[key] = value * factor
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"StatSet({self.name}: {body})"
+
+
+@dataclass
+class Timeline:
+    """Piecewise-constant signal sampled at event boundaries.
+
+    Used for e.g. per-core frequency over time and power draw over time.
+    Samples are ``(time, value)``; the value holds until the next sample.
+    """
+
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError("timeline samples must be appended in time order")
+        # Collapse repeated samples at identical timestamps (keep last).
+        if self.samples and self.samples[-1][0] == time:
+            self.samples[-1] = (time, value)
+        else:
+            self.samples.append((time, value))
+
+    def value_at(self, time: float) -> float:
+        """Value of the signal at ``time`` (last sample at or before it)."""
+        if not self.samples:
+            raise ValueError("empty timeline")
+        value = self.samples[0][1]
+        for t, v in self.samples:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """Integral of the piecewise-constant signal over ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if not self.samples:
+            return 0.0
+        total = 0.0
+        # Build segment list clipped to [t0, t1].
+        times = [t for t, _ in self.samples]
+        values = [v for _, v in self.samples]
+        for i, (seg_start, value) in enumerate(zip(times, values)):
+            seg_end = times[i + 1] if i + 1 < len(times) else t1
+            lo = max(seg_start, t0)
+            hi = min(seg_end, t1)
+            if hi > lo:
+                total += value * (hi - lo)
+        # Signal before the first sample is taken as the first value.
+        if times[0] > t0:
+            total += values[0] * (min(times[0], t1) - t0)
+        return total
+
+
+class WeightedMean:
+    """Streaming time- or count-weighted mean."""
+
+    def __init__(self) -> None:
+        self._num = 0.0
+        self._den = 0.0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        self._num += value * weight
+        self._den += weight
+
+    @property
+    def mean(self) -> float:
+        return self._num / self._den if self._den else 0.0
+
+    @property
+    def weight(self) -> float:
+        return self._den
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the standard aggregator for speedup ratios."""
+    import math
+
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+__all__.append("geometric_mean")

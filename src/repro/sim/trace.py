@@ -1,0 +1,101 @@
+"""Execution traces: who ran what, where, when.
+
+A :class:`TraceRecorder` collects per-task execution records so that examples
+can print Gantt-style views (in the spirit of BSC's Paraver traces) and tests
+can assert scheduling invariants such as "no core runs two tasks at once" and
+"no task starts before its predecessors finished".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One execution interval of one task on one core."""
+
+    task_id: int
+    task_label: str
+    core_id: int
+    start: float
+    end: float
+    frequency_ghz: float
+    critical: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries during a simulated run."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def record(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_core(self) -> Dict[int, List[TraceRecord]]:
+        out: Dict[int, List[TraceRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.core_id, []).append(rec)
+        for recs in out.values():
+            recs.sort(key=lambda r: r.start)
+        return out
+
+    def makespan(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records) - min(r.start for r in self.records)
+
+    def core_busy_time(self, core_id: int) -> float:
+        return sum(r.duration for r in self.records if r.core_id == core_id)
+
+    def utilisation(self, n_cores: int) -> float:
+        """Fraction of core-time spent executing tasks over the makespan."""
+        span = self.makespan()
+        if span <= 0:
+            return 0.0
+        busy = sum(r.duration for r in self.records)
+        return busy / (span * n_cores)
+
+    def validate_no_overlap(self) -> None:
+        """Raise ``AssertionError`` if any core ran two tasks simultaneously."""
+        for core_id, recs in self.by_core().items():
+            for a, b in zip(recs, recs[1:]):
+                if b.start < a.end - 1e-12:
+                    raise AssertionError(
+                        f"core {core_id}: task {b.task_id} started at {b.start} "
+                        f"before task {a.task_id} ended at {a.end}"
+                    )
+
+    def gantt(self, width: int = 72, max_cores: Optional[int] = None) -> str:
+        """Render a coarse ASCII Gantt chart (one row per core)."""
+        if not self.records:
+            return "(empty trace)"
+        t0 = min(r.start for r in self.records)
+        t1 = max(r.end for r in self.records)
+        span = max(t1 - t0, 1e-12)
+        lines = []
+        cores = sorted(self.by_core().items())
+        if max_cores is not None:
+            cores = cores[:max_cores]
+        for core_id, recs in cores:
+            row = [" "] * width
+            for rec in recs:
+                lo = int((rec.start - t0) / span * (width - 1))
+                hi = max(lo, int((rec.end - t0) / span * (width - 1)))
+                mark = "#" if rec.critical else "="
+                for i in range(lo, hi + 1):
+                    row[i] = mark
+            lines.append(f"core {core_id:>3} |{''.join(row)}|")
+        lines.append(f"           t0={t0:.6g}s .. t1={t1:.6g}s ('#'=critical task)")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Semantics of the two new instructions behind VSR sort.
+
+Section 3.2: *"To enable this algorithm in a SIMD architecture we defined
+two new instructions: vector prior instances (VPI) and vector last unique
+(VLU).  VPI uses a single vector register as input, processes it serially
+and outputs another vector register as a result.  Each element of the
+output asserts exactly how many instances of a value in the corresponding
+element of the input register have been seen before.  VLU also uses a
+single vector register as input but produces a vector mask as a result that
+marks the last instance of any particular value found."*
+
+The functions here are the pure semantics (used by the engine and by the
+property tests); cycle accounting lives in the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["vector_prior_instances", "vector_last_unique"]
+
+
+def vector_prior_instances(values: np.ndarray) -> np.ndarray:
+    """VPI: out[i] = number of j < i with values[j] == values[i].
+
+    Implemented with a stable sort so the whole register is processed in
+    O(VL log VL) host time while preserving the serial semantics exactly.
+    """
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise ValueError("VPI operates on one vector register")
+    n = len(v)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(v, kind="stable")
+    sv = v[order]
+    # rank of each element within its group of equal values
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sv[1:] != sv[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, np.arange(n), 0))
+    ranks = np.arange(n) - group_start
+    out = np.empty(n, dtype=np.int64)
+    out[order] = ranks
+    return out
+
+
+def vector_last_unique(values: np.ndarray) -> np.ndarray:
+    """VLU: out[i] = True iff no j > i has values[j] == values[i]."""
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise ValueError("VLU operates on one vector register")
+    n = len(v)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(v, kind="stable")
+    sv = v[order]
+    last_in_group = np.empty(n, dtype=bool)
+    last_in_group[-1] = True
+    last_in_group[:-1] = sv[1:] != sv[:-1]
+    out = np.empty(n, dtype=bool)
+    out[order] = last_in_group
+    return out

@@ -1,0 +1,103 @@
+"""Figure 3 driver: speedups over the scalar baseline across MVL and lanes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .engine import VectorEngine
+from .params import VectorParams
+from .sorts.bitonic import bitonic_sort
+from .sorts.scalar import scalar_sort_cycles
+from .sorts.vquick import vquick_sort
+from .sorts.vradix import vradix_sort
+from .sorts.vsr import vsr_sort
+
+__all__ = ["SORT_ALGORITHMS", "SortMeasurement", "measure_sort",
+           "fig3_speedups", "best_speedups"]
+
+#: name -> sort(engine, keys) for every vectorised algorithm of Figure 3.
+SORT_ALGORITHMS: Dict[str, Callable] = {
+    "vsr": vsr_sort,
+    "vradix": vradix_sort,
+    "bitonic": bitonic_sort,
+    "vquick": vquick_sort,
+}
+
+
+@dataclass(frozen=True)
+class SortMeasurement:
+    """One (algorithm, MVL, lanes) point."""
+
+    algorithm: str
+    mvl: int
+    lanes: int
+    n: int
+    cycles: float
+    cpt: float
+    speedup_over_scalar: float
+
+
+def random_keys(n: int, seed: int = 0, key_bits: int = 32) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << key_bits, size=n, dtype=np.int64)
+
+
+def measure_sort(
+    algorithm: str,
+    n: int = 1 << 14,
+    mvl: int = 64,
+    lanes: int = 1,
+    seed: int = 0,
+    params: Optional[VectorParams] = None,
+) -> SortMeasurement:
+    """Run one sort on random keys, verify the result, return the metrics."""
+    params = params or VectorParams()
+    keys = random_keys(n, seed)
+    engine = VectorEngine(mvl=mvl, lanes=lanes, params=params)
+    result = SORT_ALGORITHMS[algorithm](engine, keys)
+    expected = np.sort(keys)
+    if not np.array_equal(result, expected):
+        raise AssertionError(f"{algorithm} produced an unsorted result")
+    scalar = scalar_sort_cycles(n, params)
+    return SortMeasurement(
+        algorithm=algorithm,
+        mvl=mvl,
+        lanes=lanes,
+        n=n,
+        cycles=engine.cycles,
+        cpt=engine.cycles / n,
+        speedup_over_scalar=scalar / engine.cycles,
+    )
+
+
+def fig3_speedups(
+    n: int = 1 << 14,
+    mvls: Sequence[int] = (8, 16, 32, 64),
+    lanes_list: Sequence[int] = (1, 2, 4),
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    params: Optional[VectorParams] = None,
+) -> List[SortMeasurement]:
+    """The full Figure 3 grid: every algorithm at every (MVL, lanes)."""
+    algorithms = list(algorithms or SORT_ALGORITHMS)
+    out: List[SortMeasurement] = []
+    for algo in algorithms:
+        for mvl in mvls:
+            for lanes in lanes_list:
+                if lanes > mvl:
+                    continue
+                out.append(measure_sort(algo, n, mvl, lanes, seed, params))
+    return out
+
+
+def best_speedups(measurements: Sequence[SortMeasurement]) -> Dict[str, Dict[int, float]]:
+    """algorithm -> lanes -> best speedup over MVLs (the paper's 'maximum
+    speedups ... when as few as four parallel lanes are used')."""
+    out: Dict[str, Dict[int, float]] = {}
+    for m in measurements:
+        best = out.setdefault(m.algorithm, {})
+        best[m.lanes] = max(best.get(m.lanes, 0.0), m.speedup_over_scalar)
+    return out

@@ -1,0 +1,50 @@
+"""Cost-model constants for the vector engine.
+
+The model follows the classic pipelined vector-machine accounting used in
+the VSR sort paper's evaluation (HPCA'15): every vector instruction pays a
+fixed startup (pipeline fill) plus a per-element beat, where the beat rate
+depends on the functional unit:
+
+* unit-stride memory and ALU ops sustain ``lanes`` elements per cycle;
+* indexed memory (gather/scatter) scales with lanes through the banked SPM
+  up to a bank-conflict floor (``mem_indexed_min_beat``) — gathers never
+  quite reach unit-stride throughput, which is exactly why VSR's dominant
+  unit-stride access pattern matters;
+* VPI/VLU execute on a dedicated unit, serially (one element per cycle) in
+  the *serial* hardware variant, or at lane rate plus a fixed combining
+  overhead in the *parallel* variant.
+
+Chained instruction sequences overlap across units: a chain's cost is the
+maximum per-unit busy time, not the sum (see
+:class:`~repro.vector.engine.VectorEngine.chain`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VectorParams"]
+
+
+@dataclass(frozen=True)
+class VectorParams:
+    """Tunable constants of the vector pipeline."""
+
+    startup_cycles: float = 8.0  # pipeline fill per (unchained) instruction
+    alu_beat: float = 1.0  # cycles/element/lane for arithmetic
+    mem_unit_beat: float = 1.0  # cycles/element/lane, unit-stride
+    mem_indexed_beat: float = 1.0  # cycles/element/lane for gather/scatter
+    mem_indexed_min_beat: float = 0.42  # bank-conflict floor on indexed beats
+    vpi_serial_beat: float = 1.0  # cycles/element, serial VPI/VLU variant
+    vpi_parallel_beat: float = 1.0  # cycles/element/lane, parallel variant
+    vpi_parallel_overhead: float = 6.0  # extra combining cycles per instr
+    scalar_op_cycles: float = 1.0  # one scalar ALU op
+    #: cycles per tuple of the scalar baseline, calibrated at the paper's
+    #: input scale (16M keys): large scalar sorts are branch-miss and
+    #: LLC-miss bound, with measured CPTs well above 100.
+    scalar_sort_cpt: float = 130.0
+    #: penalty multiplier on indexed accesses when an algorithm's bookkeeping
+    #: tables outgrow the L1 working set (the prior vectorised radix sort
+    #: replicates its buckets per virtual lane and pays this).
+    table_pressure_multiplier: float = 2.0
+    table_pressure_bytes: int = 64 * 1024

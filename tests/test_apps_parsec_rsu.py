@@ -1,0 +1,121 @@
+"""Tests for the PARSEC models (Fig. 5) and the criticality/RSU
+experiments (Fig. 2 / Section 3.1)."""
+
+import pytest
+
+from repro.apps.parsec import (
+    PARSEC_APPS,
+    ParsecAppModel,
+    fig5_scalability,
+    run_app,
+)
+from repro.apps.rsu_experiment import (
+    CriticalityWorkload,
+    fig2_experiment,
+    reconfiguration_overhead_sweep,
+    run_criticality_aware,
+    run_static,
+)
+
+
+class TestParsecModels:
+    def test_fig5_apps_present(self):
+        assert {"bodytrack", "facesim"} <= set(PARSEC_APPS)
+
+    def test_single_core_time_close_to_total_work(self):
+        m = PARSEC_APPS["bodytrack"]
+        t1 = run_app("bodytrack", "pthreads", 1)
+        expected = m.frames * (m.io_seconds + m.work_seconds + m.serial_seconds)
+        assert t1 == pytest.approx(expected, rel=0.02)
+
+    def test_more_cores_never_slower(self):
+        for variant in ("pthreads", "ompss"):
+            times = [run_app("bodytrack", variant, n) for n in (1, 4, 16)]
+            assert times[0] >= times[1] >= times[2]
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_app("bodytrack", "openmp", 2)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            run_app("raytrace", "ompss", 2)
+
+    def test_runs_are_deterministic(self):
+        a = run_app("facesim", "ompss", 8)
+        b = run_app("facesim", "ompss", 8)
+        assert a == b
+
+
+class TestFig5Shape:
+    @pytest.fixture(scope="class")
+    def bodytrack(self):
+        return fig5_scalability("bodytrack", threads=(1, 4, 8, 16))
+
+    @pytest.fixture(scope="class")
+    def facesim(self):
+        return fig5_scalability("facesim", threads=(1, 4, 8, 16))
+
+    def test_ompss_beats_pthreads_at_scale(self, bodytrack, facesim):
+        for curves in (bodytrack, facesim):
+            for n in (4, 8, 16):
+                assert curves["ompss"][n] > curves["pthreads"][n]
+
+    def test_bodytrack_reaches_paper_scaling(self, bodytrack):
+        # paper: scaling factor of ~12 at 16 cores for the OmpSs port
+        assert 10.5 <= bodytrack["ompss"][16] <= 13.5
+
+    def test_facesim_reaches_paper_scaling(self, facesim):
+        # paper: scaling factor of ~10 at 16 cores for the OmpSs port
+        assert 8.5 <= facesim["ompss"][16] <= 11.5
+
+    def test_pthreads_saturates_well_below_ompss(self, bodytrack):
+        assert bodytrack["pthreads"][16] < 0.8 * bodytrack["ompss"][16]
+
+    def test_speedup_monotone_in_threads(self, bodytrack):
+        for variant in ("pthreads", "ompss"):
+            sp = [bodytrack[variant][n] for n in (1, 4, 8, 16)]
+            assert sp == sorted(sp)
+
+
+class TestFig2Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_experiment()
+
+    def test_performance_improvement_band(self, result):
+        # paper: 6.6%
+        assert 0.03 <= result.performance_improvement <= 0.12
+
+    def test_edp_improvement_band(self, result):
+        # paper: 20.0%
+        assert 0.12 <= result.edp_improvement <= 0.32
+
+    def test_aware_strictly_better_both_axes(self, result):
+        assert result.aware_makespan < result.static_makespan
+        assert result.aware_edp < result.static_edp
+
+    def test_small_machine_still_works(self):
+        wl = CriticalityWorkload(chain_len=3, n_fillers=40)
+        s = run_static(wl, n_cores=8)
+        a = run_criticality_aware(wl, n_cores=8)
+        assert a.makespan <= s.makespan * 1.05
+
+
+class TestReconfigurationOverheadSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return reconfiguration_overhead_sweep(core_counts=(4, 8, 16, 32))
+
+    def test_software_overhead_grows_with_cores(self, sweep):
+        sw = sweep["software"]
+        assert sw[8] > sw[4]
+        assert sw[32] > sw[16] > sw[8]
+
+    def test_software_growth_is_superlinear(self, sweep):
+        """Lock contention: 8x the cores costs much more than 8x stall."""
+        sw = sweep["software"]
+        assert sw[32] / sw[4] > 8.0
+
+    def test_rsu_overhead_stays_negligible(self, sweep):
+        assert max(sweep["rsu"].values()) < 0.01 * max(sweep["software"].values())

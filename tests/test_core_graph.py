@@ -1,0 +1,147 @@
+"""Unit tests for the Task Dependency Graph and its analyses."""
+
+import pytest
+
+from repro.core.graph import CycleError, TaskGraph
+from repro.core.task import Task
+
+
+def chain(n, cycles=1e6):
+    """t0 -> t1 -> ... -> t{n-1}"""
+    g = TaskGraph()
+    tasks = [Task.make(f"t{i}", cpu_cycles=cycles) for i in range(n)]
+    for t in tasks:
+        g.add_task(t)
+    for a, b in zip(tasks, tasks[1:]):
+        g.add_edge(a, b)
+    return g, tasks
+
+
+def diamond():
+    g = TaskGraph()
+    a, b, c, d = (Task.make(x, cpu_cycles=1e6) for x in "abcd")
+    for t in (a, b, c, d):
+        g.add_task(t)
+    g.add_edge(a, b)
+    g.add_edge(a, c)
+    g.add_edge(b, d)
+    g.add_edge(c, d)
+    return g, (a, b, c, d)
+
+
+class TestStructure:
+    def test_roots_and_sinks(self):
+        g, (a, b, c, d) = diamond()
+        assert g.roots() == [a]
+        assert g.sinks() == [d]
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        t = Task.make("t")
+        g.add_task(t)
+        with pytest.raises(ValueError):
+            g.add_task(t)
+
+    def test_edge_requires_membership(self):
+        g = TaskGraph()
+        t = Task.make("t")
+        g.add_task(t)
+        with pytest.raises(ValueError):
+            g.add_edge(t, Task.make("stranger"))
+
+    def test_duplicate_edge_ignored(self):
+        g, (a, b, *_rest) = diamond()
+        before = g.n_edges
+        assert g.add_edge(a, b) is False
+        assert g.n_edges == before
+
+    def test_topological_order_respects_edges(self):
+        g, tasks = diamond()
+        order = g.topological_order()
+        pos = {t.task_id: i for i, t in enumerate(order)}
+        for t in tasks:
+            for s in t.successors:
+                assert pos[t.task_id] < pos[s.task_id]
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        a, b = Task.make("a"), Task.make("b")
+        g.add_task(a)
+        g.add_task(b)
+        g.add_edge(a, b)
+        # Force a cycle behind the API's back.
+        a.predecessors.add(b)
+        b.successors.add(a)
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_validate_passes_on_good_graph(self):
+        g, _ = diamond()
+        g.validate()
+
+
+class TestAnalyses:
+    def test_chain_critical_path_is_total_work(self):
+        g, tasks = chain(5, cycles=1e9)
+        path, length = g.critical_path()
+        assert [t.label for t in path] == [t.label for t in tasks]
+        assert length == pytest.approx(5.0)  # 1e9 cycles at 1 GHz reference
+
+    def test_diamond_critical_path_length(self):
+        g, _ = diamond()
+        _, length = g.critical_path()
+        assert length == pytest.approx(3e6 / 1e9)
+
+    def test_bottom_levels_monotone_toward_roots(self):
+        g, tasks = chain(4)
+        g.compute_bottom_levels()
+        levels = [t.bottom_level for t in tasks]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_mark_critical_on_unbalanced_diamond(self):
+        g = TaskGraph()
+        a = Task.make("a", cpu_cycles=1e6)
+        heavy = Task.make("heavy", cpu_cycles=9e6)
+        light = Task.make("light", cpu_cycles=1e6)
+        d = Task.make("d", cpu_cycles=1e6)
+        for t in (a, heavy, light, d):
+            g.add_task(t)
+        g.add_edge(a, heavy)
+        g.add_edge(a, light)
+        g.add_edge(heavy, d)
+        g.add_edge(light, d)
+        n = g.mark_critical_tasks()
+        assert n == 3
+        assert a.critical and heavy.critical and d.critical
+        assert not light.critical
+
+    def test_balanced_diamond_all_critical(self):
+        g, tasks = diamond()
+        assert g.mark_critical_tasks() == 4
+
+    def test_width_profile(self):
+        g, _ = diamond()
+        assert g.width_profile() == [1, 2, 1]
+
+    def test_average_parallelism_bounds(self):
+        g, _ = diamond()
+        ap = g.average_parallelism()
+        assert 1.0 < ap <= 2.0  # 4 units of work over a 3-unit critical path
+
+    def test_total_work(self):
+        g, _ = chain(3, cycles=1e9)
+        assert g.total_work() == pytest.approx(3.0)
+
+    def test_empty_graph_analyses(self):
+        g = TaskGraph()
+        assert g.topological_order() == []
+        assert g.width_profile() == []
+        assert g.compute_bottom_levels() == 0.0
+
+    def test_to_networkx_roundtrip(self):
+        g, (a, b, c, d) = diamond()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 4
+        assert nxg.has_edge(a.task_id, d.task_id) is False
+        assert nxg.has_edge(a.task_id, b.task_id)

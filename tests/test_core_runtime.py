@@ -1,0 +1,251 @@
+"""Integration tests for the task runtime executing on the simulator."""
+
+import pytest
+
+from repro.core import (
+    BottomLevelHeuristic,
+    CriticalPathOracle,
+    DeadlockError,
+    FifoScheduler,
+    Runtime,
+    Task,
+    TaskState,
+    WorkStealingScheduler,
+    task,
+)
+from repro.sim import (
+    Machine,
+    RsuDvfsController,
+    RsuPolicy,
+    RuntimeSupportUnit,
+    SoftwareDvfsController,
+)
+
+
+def make_runtime(n_cores=4, **kw):
+    m = Machine(n_cores)
+    return Runtime(m, **kw)
+
+
+class TestBasicExecution:
+    def test_single_task(self):
+        rt = make_runtime(1)
+        rt.submit(Task.make("t", cpu_cycles=2e9))
+        res = rt.run()
+        # 2e9 cycles at the 2 GHz initial level
+        assert res.makespan == pytest.approx(1.0)
+        assert res.n_tasks == 1
+
+    def test_independent_tasks_run_in_parallel(self):
+        rt = make_runtime(4)
+        for i in range(4):
+            rt.submit(Task.make(f"t{i}", cpu_cycles=2e9))
+        res = rt.run()
+        assert res.makespan == pytest.approx(1.0)
+
+    def test_more_tasks_than_cores_serialise(self):
+        rt = make_runtime(2)
+        for i in range(4):
+            rt.submit(Task.make(f"t{i}", cpu_cycles=2e9))
+        res = rt.run()
+        assert res.makespan == pytest.approx(2.0)
+
+    def test_chain_runs_sequentially(self):
+        rt = make_runtime(4)
+        for i in range(3):
+            rt.submit(Task.make(f"t{i}", cpu_cycles=2e9, inout=["x"]))
+        res = rt.run()
+        assert res.makespan == pytest.approx(3.0)
+
+    def test_diamond_dependency_schedule(self):
+        rt = make_runtime(4)
+        rt.submit(Task.make("a", cpu_cycles=2e9, out=["x"]))
+        rt.submit(Task.make("b", cpu_cycles=2e9, in_=["x"], out=["y"]))
+        rt.submit(Task.make("c", cpu_cycles=2e9, in_=["x"], out=["z"]))
+        rt.submit(Task.make("d", cpu_cycles=2e9, in_=["y", "z"]))
+        res = rt.run()
+        assert res.makespan == pytest.approx(3.0)
+
+    def test_all_tasks_finish(self):
+        rt = make_runtime(3)
+        tasks = [rt.submit(Task.make(f"t{i}", inout=["x"])) for i in range(10)]
+        rt.run()
+        assert all(t.state is TaskState.FINISHED for t in tasks)
+
+    def test_trace_has_no_core_overlap(self):
+        rt = make_runtime(3, scheduler=WorkStealingScheduler(3))
+        import random
+
+        rng = random.Random(7)
+        for i in range(40):
+            deps = {}
+            if rng.random() < 0.5:
+                deps["inout"] = [f"obj{rng.randrange(5)}"]
+            rt.submit(Task.make(f"t{i}", cpu_cycles=rng.uniform(1e5, 1e7), **deps))
+        res = rt.run()
+        res.trace.validate_no_overlap()
+
+    def test_tasks_never_start_before_predecessors_end(self):
+        rt = make_runtime(4)
+        a = rt.submit(Task.make("a", cpu_cycles=5e8, out=["x"]))
+        b = rt.submit(Task.make("b", cpu_cycles=5e8, in_=["x"]))
+        rt.run()
+        assert b.start_time >= a.end_time
+
+    def test_deadlock_detection_on_manual_cycle(self):
+        rt = make_runtime(1)
+        a = Task.make("a")
+        b = Task.make("b")
+        rt.graph.add_task(a)
+        rt.graph.add_task(b)
+        rt.graph.add_edge(a, b)
+        rt.graph.add_edge(b, a)
+        a.state = TaskState.CREATED
+        rt._unfinished = 2
+        with pytest.raises(DeadlockError):
+            rt.taskwait()
+
+    def test_energy_accounted(self):
+        rt = make_runtime(2)
+        rt.submit(Task.make("t", cpu_cycles=1e9))
+        res = rt.run()
+        assert res.energy_j > 0
+        assert res.edp == pytest.approx(res.energy_j * res.makespan)
+
+    def test_mem_seconds_does_not_scale_with_frequency(self):
+        m = Machine(1, initial_level=0)  # 1 GHz
+        rt = Runtime(m)
+        rt.submit(Task.make("t", cpu_cycles=1e9, mem_seconds=0.5))
+        res = rt.run()
+        assert res.makespan == pytest.approx(1.5)
+
+
+class TestRealFunctionExecution:
+    def test_functions_run_in_dataflow_order(self):
+        rt = make_runtime(4)
+        log = []
+        rt.submit(Task.make("w", out=["x"], fn=lambda: log.append("w")))
+        rt.submit(Task.make("r1", in_=["x"], fn=lambda: log.append("r1")))
+        rt.submit(Task.make("r2", in_=["x"], fn=lambda: log.append("r2")))
+        rt.submit(Task.make("f", inout=["x"], fn=lambda: log.append("f")))
+        rt.run()
+        assert log[0] == "w" and log[-1] == "f"
+        assert set(log[1:3]) == {"r1", "r2"}
+
+    def test_task_results_stored(self):
+        rt = make_runtime(1)
+        t = rt.submit(Task.make("t", fn=lambda a, b: a + b, args=(2, 3)))
+        rt.run()
+        assert t.result == 5
+
+    def test_execute_functions_can_be_disabled(self):
+        rt = make_runtime(1, execute_functions=False)
+        t = rt.submit(Task.make("t", fn=lambda: 42))
+        rt.run()
+        assert t.result is None
+
+
+class TestDecoratorApi:
+    def test_spawn_builds_dependences(self):
+        data = {"x": 0, "y": 0}
+
+        @task(out=["x"], cpu_cycles=1e6)
+        def produce():
+            data["x"] = 1
+
+        @task(in_=["x"], out=["y"], cpu_cycles=1e6)
+        def consume():
+            data["y"] = data["x"] + 1
+
+        rt = make_runtime(2)
+        produce.spawn(rt)
+        consume.spawn(rt)
+        rt.run()
+        assert data == {"x": 1, "y": 2}
+
+    def test_dynamic_regions_from_args(self):
+        @task(inout=lambda i: [("v", i * 10, (i + 1) * 10)], cpu_cycles=1e6)
+        def block(i):
+            return i
+
+        rt = make_runtime(4)
+        t0 = block.spawn(rt, 0)
+        t1 = block.spawn(rt, 1)
+        t0b = block.spawn(rt, 0)
+        rt.run()
+        # Same block serialises, different blocks do not.
+        assert t0b.start_time >= t0.end_time
+        assert rt.graph.n_edges == 1
+
+    def test_direct_call_runs_body(self):
+        @task()
+        def f(a):
+            return a * 2
+
+        assert f(21) == 42
+
+    def test_callable_cost(self):
+        @task(cpu_cycles=lambda n: n * 1e6)
+        def work(n):
+            pass
+
+        t = work.make_task(8)
+        assert t.cpu_cycles == pytest.approx(8e6)
+
+
+class TestCriticalityDvfs:
+    def _heterogeneous_graph(self, rt):
+        """A long chain plus a pile of short independent tasks."""
+        for i in range(6):
+            rt.submit(Task.make("chain", cpu_cycles=4e9, inout=["c"]))
+        for i in range(12):
+            rt.submit(Task.make("filler", cpu_cycles=1e9))
+
+    def test_oracle_marks_chain_critical(self):
+        rt = make_runtime(4, criticality=CriticalPathOracle())
+        self._heterogeneous_graph(rt)
+        rt.prepare_criticality()
+        chain_tasks = [t for t in rt.graph.tasks if t.label == "chain"]
+        assert all(t.critical for t in chain_tasks)
+
+    def test_rsu_boost_beats_static_makespan(self):
+        def run(with_rsu):
+            m = Machine(4, initial_level=2)
+            rsu = None
+            crit = None
+            if with_rsu:
+                rsu = RuntimeSupportUnit(m, RsuDvfsController(m), RsuPolicy())
+                crit = BottomLevelHeuristic()
+            rt = Runtime(m, criticality=crit, rsu=rsu)
+            self._heterogeneous_graph(rt)
+            return rt.run()
+
+        static = run(False)
+        boosted = run(True)
+        # The chain dominates the makespan; boosting it must win.
+        assert boosted.makespan < static.makespan
+
+    def test_software_dvfs_pays_more_overhead_than_rsu(self):
+        def run(ctl_cls):
+            m = Machine(8, initial_level=2)
+            ctl = ctl_cls(m)
+            rsu = RuntimeSupportUnit(m, ctl, RsuPolicy())
+            rt = Runtime(m, criticality=BottomLevelHeuristic(), rsu=rsu)
+            for i in range(64):
+                rt.submit(Task.make(f"t{i}", cpu_cycles=1e7))
+            res = rt.run()
+            return res.stats.get("dvfs_stall_seconds")
+
+        sw = run(SoftwareDvfsController)
+        hw = run(RsuDvfsController)
+        assert sw > 10 * hw
+
+    def test_dvfs_stall_extends_task(self):
+        m = Machine(1, initial_level=0)
+        ctl = SoftwareDvfsController(m, reconfig_latency_s=0.25, syscall_latency_s=0.0)
+        rsu = RuntimeSupportUnit(m, ctl, RsuPolicy())
+        rt = Runtime(m, criticality=CriticalPathOracle(), rsu=rsu)
+        rt.submit(Task.make("t", cpu_cycles=3e9))  # critical by definition
+        res = rt.run()
+        # 0.25 s stall + 3e9 cycles at boosted 3 GHz = 1.25 s
+        assert res.makespan == pytest.approx(1.25)

@@ -1,0 +1,146 @@
+"""Unit tests for ready-queue scheduling policies."""
+
+import pytest
+
+from repro.core.schedulers import (
+    BottomLevelScheduler,
+    BreadthFirstScheduler,
+    CriticalityAwareScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+)
+from repro.core.task import Task
+
+
+def mk(label, **kw):
+    return Task.make(label, **kw)
+
+
+class TestGlobalQueues:
+    def test_fifo_order(self):
+        s = FifoScheduler()
+        a, b = mk("a"), mk("b")
+        s.push(a)
+        s.push(b)
+        assert s.pop(0) is a
+        assert s.pop(0) is b
+        assert s.pop(0) is None
+
+    def test_lifo_order(self):
+        s = LifoScheduler()
+        a, b = mk("a"), mk("b")
+        s.push(a)
+        s.push(b)
+        assert s.pop(0) is b
+
+    def test_breadth_first_prefers_shallow(self):
+        s = BreadthFirstScheduler()
+        deep, shallow = mk("deep"), mk("shallow")
+        deep.depth, shallow.depth = 5, 1
+        s.push(deep)
+        s.push(shallow)
+        assert s.pop(0) is shallow
+
+    def test_bottom_level_prefers_long_chains(self):
+        s = BottomLevelScheduler()
+        short, long_ = mk("short"), mk("long")
+        short.bottom_level, long_.bottom_level = 1.0, 10.0
+        s.push(short)
+        s.push(long_)
+        assert s.pop(0) is long_
+
+    def test_len_and_bool(self):
+        s = FifoScheduler()
+        assert not s
+        s.push(mk("a"))
+        assert len(s) == 1 and s
+
+
+class TestWorkStealing:
+    def test_owner_pops_lifo(self):
+        s = WorkStealingScheduler(2)
+        a, b = mk("a"), mk("b")
+        s.push(a, hint_core=0)
+        s.push(b, hint_core=0)
+        assert s.pop(0) is b
+
+    def test_steal_takes_oldest_from_fullest(self):
+        s = WorkStealingScheduler(3)
+        a, b = mk("a"), mk("b")
+        s.push(a, hint_core=0)
+        s.push(b, hint_core=0)
+        got = s.pop(2)  # empty deque -> steal
+        assert got is a  # FIFO steal
+        assert s.steals == 1
+
+    def test_round_robin_distribution_without_hint(self):
+        s = WorkStealingScheduler(2)
+        for i in range(4):
+            s.push(mk(f"t{i}"))
+        # two per deque
+        assert len(s) == 4
+        assert s.pop(0) is not None and s.pop(1) is not None
+
+    def test_empty_pop_returns_none(self):
+        s = WorkStealingScheduler(2)
+        assert s.pop(0) is None
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(0)
+
+
+class TestCriticalityAware:
+    def test_critical_queue_preferred(self):
+        s = CriticalityAwareScheduler()
+        normal, crit = mk("n"), mk("c")
+        crit.critical = True
+        s.push(normal)
+        s.push(crit)
+        assert s.pop(0) is crit
+        assert s.pop(0) is normal
+
+    def test_slow_cores_prefer_normal_queue(self):
+        s = CriticalityAwareScheduler(
+            is_fast_core=lambda c: c == 0, prefer_critical_everywhere=False
+        )
+        normal, crit = mk("n"), mk("c")
+        crit.critical = True
+        s.push(normal)
+        s.push(crit)
+        assert s.pop(1) is normal  # slow core
+        assert s.pop(0) is crit  # fast core
+
+    def test_fast_core_falls_back_to_normal(self):
+        s = CriticalityAwareScheduler(is_fast_core=lambda c: True,
+                                      prefer_critical_everywhere=False)
+        n = mk("n")
+        s.push(n)
+        assert s.pop(0) is n
+
+    def test_ready_tasks_sees_both_queues(self):
+        s = CriticalityAwareScheduler()
+        a, b = mk("a"), mk("b")
+        b.critical = True
+        s.push(a)
+        s.push(b)
+        assert len(list(s.ready_tasks())) == 2
+
+
+class TestStatic:
+    def test_round_robin_assignment_is_fixed(self):
+        s = StaticScheduler(2)
+        tasks = [mk(f"t{i}") for i in range(4)]
+        for t in tasks:
+            s.push(t)
+        assert s.pop(0) is tasks[0]
+        assert s.pop(1) is tasks[1]
+        assert s.pop(0) is tasks[2]
+        assert s.pop(1) is tasks[3]
+
+    def test_no_stealing_across_queues(self):
+        s = StaticScheduler(2)
+        s.push(mk("t0"))  # goes to core 0
+        assert s.pop(1) is None

@@ -1,0 +1,140 @@
+"""Cross-module integration tests: the full runtime-aware stack together."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import wavefront
+from repro.core import (
+    AnnotatedCriticality,
+    BottomLevelHeuristic,
+    CriticalityAwareScheduler,
+    Runtime,
+    RuntimePrefetcher,
+    Task,
+    WorkStealingScheduler,
+    task,
+)
+from repro.sim import (
+    HardwareSubmission,
+    Machine,
+    RsuDvfsController,
+    RsuPolicy,
+    RuntimeSupportUnit,
+    SoftwareSubmission,
+)
+
+
+class TestFullStack:
+    """RSU + criticality + prefetch + hardware submission, all at once."""
+
+    def _run(self, submission, prefetcher, with_rsu, n_cores=8):
+        machine = Machine(n_cores, initial_level=2)
+        rsu = None
+        crit = None
+        if with_rsu:
+            machine.power_budget_w = (
+                n_cores
+                * machine.power_model.busy_power(machine.dvfs[2])
+            )
+            rsu = RuntimeSupportUnit(
+                machine, RsuDvfsController(machine),
+                RsuPolicy(efficient_level=1),
+            )
+            crit = BottomLevelHeuristic()
+        rt = Runtime(
+            machine,
+            scheduler=WorkStealingScheduler(n_cores),
+            criticality=crit,
+            rsu=rsu,
+            submission=submission,
+            prefetcher=prefetcher,
+            record_trace=True,
+        )
+        for t in wavefront(6, 6, cpu_cycles=5e6):
+            t.mem_seconds = 5e-4
+            rt.submit(t)
+        return rt.run()
+
+    def test_all_features_together_complete_legally(self):
+        res = self._run(HardwareSubmission(), RuntimePrefetcher(), True)
+        assert res.n_tasks == 36
+        res.trace.validate_no_overlap()
+        assert res.energy_j > 0
+
+    def test_feature_combinations_all_run(self):
+        for submission in (None, SoftwareSubmission(), HardwareSubmission()):
+            for prefetcher in (None, RuntimePrefetcher()):
+                res = self._run(submission, prefetcher, with_rsu=False)
+                assert res.n_tasks == 36
+
+    def test_hardware_submission_never_slower_than_software(self):
+        sw = self._run(SoftwareSubmission(), None, False)
+        hw = self._run(HardwareSubmission(), None, False)
+        assert hw.makespan <= sw.makespan + 1e-12
+
+    def test_prefetch_helps_when_tasks_queue(self):
+        # On 2 cores the wavefront's diagonals exceed the core count, so
+        # ready tasks accumulate queue lead for the prefetcher to exploit.
+        base = self._run(None, None, False, n_cores=2)
+        pf = self._run(None, RuntimePrefetcher(lead_seconds=1e-4), False,
+                       n_cores=2)
+        assert pf.makespan < base.makespan
+
+
+class TestRealComputationThroughSimulatedSchedule:
+    """The property the resilience work relies on: real numerics computed
+    under any simulated schedule give identical results."""
+
+    def _blocked_sum(self, n_cores, scheduler):
+        data = np.arange(1024, dtype=float)
+        partials = np.zeros(8)
+        total = []
+
+        @task(in_=lambda i: [("data", i * 128, (i + 1) * 128)],
+              out=lambda i: [("partials", i, i + 1)], cpu_cycles=1e6)
+        def part(i):
+            partials[i] = data[i * 128 : (i + 1) * 128].sum()
+
+        @task(in_=["partials"], cpu_cycles=1e5)
+        def reduce_():
+            total.append(partials.sum())
+
+        machine = Machine(n_cores)
+        rt = Runtime(machine, scheduler=scheduler)
+        for i in range(8):
+            part.spawn(rt, i)
+        reduce_.spawn(rt)
+        rt.run()
+        return total[0]
+
+    def test_result_independent_of_core_count_and_policy(self):
+        from repro.core import FifoScheduler, LifoScheduler
+
+        expected = float(np.arange(1024).sum())
+        for n, sched in [
+            (1, FifoScheduler()),
+            (4, LifoScheduler()),
+            (8, WorkStealingScheduler(8)),
+        ]:
+            assert self._blocked_sum(n, sched) == expected
+
+
+class TestCriticalityEndToEnd:
+    def test_annotated_boost_shows_in_trace(self):
+        machine = Machine(4, initial_level=2)
+        rsu = RuntimeSupportUnit(
+            machine, RsuDvfsController(machine), RsuPolicy(efficient_level=0)
+        )
+        rt = Runtime(
+            machine,
+            scheduler=CriticalityAwareScheduler(),
+            criticality=AnnotatedCriticality({"hot": True}),
+            rsu=rsu,
+        )
+        rt.submit(Task.make("hot", cpu_cycles=4e9, inout=["c"]))
+        for i in range(6):
+            rt.submit(Task.make(f"cold{i}", cpu_cycles=1e9))
+        res = rt.run()
+        hot = [r for r in res.trace.records if r.task_label == "hot"]
+        cold = [r for r in res.trace.records if r.task_label.startswith("cold")]
+        assert hot[0].frequency_ghz > max(c.frequency_ghz for c in cold)

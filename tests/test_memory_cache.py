@@ -1,0 +1,123 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import SetAssocCache
+
+
+def mk(size=1024, line=64, ways=2):
+    return SetAssocCache(size, line, ways)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = mk(1024, 64, 2)
+        assert c.n_sets == 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(1000, 64, 2)  # not a multiple
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 64, 2)
+
+    def test_line_addr(self):
+        c = mk()
+        assert c.line_addr(130) == 128
+        assert c.line_addr(64) == 64
+
+
+class TestAccessBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = mk()
+        assert not c.access(0, False).hit
+        assert c.access(0, False).hit
+        assert c.access(63, False).hit  # same line
+        assert not c.access(64, False).hit  # next line
+
+    def test_write_sets_dirty(self):
+        c = mk()
+        c.access(0, True)
+        assert c.is_dirty(0)
+        c2 = mk()
+        c2.access(0, False)
+        assert not c2.is_dirty(0)
+
+    def test_lru_eviction_order(self):
+        c = mk(1024, 64, 2)  # 8 sets; lines 0 and 512 map to set 0
+        c.access(0, False)
+        c.access(512, False)
+        # touch 0 again so 512 is LRU
+        c.access(0, False)
+        res = c.access(1024, False)  # third line in set 0
+        assert res.victim_addr == 512
+
+    def test_dirty_victim_reported(self):
+        c = mk(1024, 64, 2)
+        c.access(0, True)
+        c.access(512, False)
+        res = c.access(1024, False)
+        assert res.victim_addr == 0
+        assert res.victim_dirty
+
+    def test_hit_rate(self):
+        c = mk()
+        c.access(0, False)
+        c.access(0, False)
+        c.access(0, False)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        c = mk(4096, 64, 4)
+        lines = [i * 64 for i in range(64)]  # exactly capacity
+        for a in lines:
+            c.access(a, False)
+        for a in lines:
+            assert c.access(a, False).hit
+
+    def test_streaming_never_rehits(self):
+        c = mk(1024, 64, 2)
+        misses = sum(
+            0 if c.access(i * 64, False).hit else 1 for i in range(1000)
+        )
+        assert misses == 1000
+
+
+class TestFillInvalidate:
+    def test_fill_installs_without_demand_counters(self):
+        c = mk()
+        c.fill(0)
+        assert c.contains(0)
+        assert c.stats.get("misses") == 0
+
+    def test_fill_dirty_flag(self):
+        c = mk()
+        c.fill(0, dirty=True)
+        assert c.is_dirty(0)
+
+    def test_fill_existing_merges_dirty(self):
+        c = mk()
+        c.fill(0, dirty=False)
+        c.fill(0, dirty=True)
+        assert c.is_dirty(0)
+
+    def test_invalidate(self):
+        c = mk()
+        c.access(0, False)
+        assert c.invalidate(0)
+        assert not c.contains(0)
+        assert not c.invalidate(0)
+
+    def test_flush_dirty_returns_and_cleans(self):
+        c = mk()
+        c.access(0, True)
+        c.access(64, False)
+        dirty = c.flush_dirty()
+        assert dirty == [0]
+        assert c.flush_dirty() == []
+        assert c.contains(0)  # still resident, just clean
+
+    def test_occupancy(self):
+        c = mk()
+        c.access(0, False)
+        c.access(64, False)
+        assert c.occupancy() == 2

@@ -1,0 +1,99 @@
+"""Unit tests for the compiler reference-classification pass."""
+
+import pytest
+
+from repro.memory.access import RefClass
+from repro.memory.compilerpass import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Indirect,
+    LoopNest,
+    Opaque,
+    class_mix,
+    classify,
+)
+
+
+def nest(refs, may_alias=None):
+    arrays = {
+        n: ArrayDecl(n, 1024)
+        for n in ("a", "b", "x", "col", "ptr", "buckets")
+    }
+    return LoopNest(arrays=arrays, refs=refs, may_alias=may_alias or {})
+
+
+class TestClassification:
+    def test_affine_is_strided(self):
+        out = classify(nest([ArrayRef("a", Affine(1))]))
+        assert out[0].cls is RefClass.STRIDED
+
+    def test_non_unit_stride_still_strided(self):
+        out = classify(nest([ArrayRef("a", Affine(stride=5, offset=2))]))
+        assert out[0].cls is RefClass.STRIDED
+
+    def test_indirect_with_no_alias_info_is_unknown(self):
+        refs = [ArrayRef("a", Affine(1)), ArrayRef("x", Indirect("col"))]
+        out = classify(nest(refs))
+        assert out[1].cls is RefClass.RANDOM_UNKNOWN
+        assert out[1].hazard_arrays == frozenset({"a"})
+
+    def test_indirect_proven_disjoint_is_noalias(self):
+        refs = [ArrayRef("a", Affine(1)), ArrayRef("buckets", Indirect("col"))]
+        out = classify(nest(refs, may_alias={"buckets": {"buckets"}}))
+        assert out[1].cls is RefClass.RANDOM_NOALIAS
+
+    def test_indirect_aliasing_strided_array_is_unknown(self):
+        refs = [ArrayRef("x", Affine(1)), ArrayRef("x", Indirect("col"))]
+        out = classify(nest(refs, may_alias={"x": {"x"}}))
+        # The indirect ref may touch 'x', which is strided/SPM-mapped.
+        assert out[1].cls is RefClass.RANDOM_UNKNOWN
+        assert out[1].hazard_arrays == frozenset({"x"})
+
+    def test_opaque_is_unknown_when_spm_candidates_exist(self):
+        refs = [ArrayRef("a", Affine(1)), ArrayRef("b", Opaque())]
+        out = classify(nest(refs))
+        assert out[1].cls is RefClass.RANDOM_UNKNOWN
+
+    def test_opaque_without_spm_candidates_is_noalias(self):
+        # No affine refs at all: nothing will be SPM-mapped, so even opaque
+        # references cannot alias scratchpad data.
+        out = classify(nest([ArrayRef("b", Opaque())]))
+        assert out[0].cls is RefClass.RANDOM_NOALIAS
+
+    def test_undeclared_array_rejected(self):
+        n = nest([])
+        n.refs = [ArrayRef("ghost", Affine(1))]
+        with pytest.raises(KeyError):
+            classify(n)
+
+
+class TestCgShape:
+    """The canonical CG SpMV loop: y[i] += vals[j] * x[col[j]]."""
+
+    def test_cg_loop_classification(self):
+        arrays = {
+            n: ArrayDecl(n, 4096)
+            for n in ("vals", "col", "x", "y")
+        }
+        refs = [
+            ArrayRef("vals", Affine(1)),
+            ArrayRef("col", Affine(1)),
+            ArrayRef("x", Indirect("col")),
+            ArrayRef("y", Affine(1), is_write=True),
+        ]
+        # x is also swept by strided axpy elsewhere in the program: the
+        # compiler knows x may alias itself.
+        nest_ = LoopNest(arrays=arrays, refs=refs + [ArrayRef("x", Affine(1))],
+                         may_alias={"x": {"x"}})
+        out = classify(nest_)
+        mix = class_mix(out)
+        assert mix["strided"] == 4
+        assert mix["random_unknown"] == 1
+        assert mix["random_noalias"] == 0
+
+
+def test_class_mix_counts():
+    out = classify(nest([ArrayRef("a", Affine(1)), ArrayRef("b", Opaque())]))
+    mix = class_mix(out)
+    assert sum(mix.values()) == 2

@@ -1,0 +1,165 @@
+"""Integration tests for the cache-only and hybrid memory hierarchies."""
+
+import pytest
+
+from repro.memory.access import RefClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.params import MemoryParams
+
+
+@pytest.fixture
+def params():
+    return MemoryParams(tile_bytes=256)
+
+
+def strided_sweep(h, core, base, nbytes, write=False, step=8):
+    for addr in range(base, base + nbytes, step):
+        h.access(core, addr, write, RefClass.STRIDED)
+
+
+class TestCacheMode:
+    def test_l1_hit_is_cheap(self, params):
+        h = MemoryHierarchy(4, mode="cache", params=params)
+        first = h.access(0, 0, False, RefClass.RANDOM_NOALIAS)
+        second = h.access(0, 0, False, RefClass.RANDOM_NOALIAS)
+        assert second == pytest.approx(params.l1_hit_cycles)
+        assert first > second
+
+    def test_strided_class_uses_caches_in_cache_mode(self, params):
+        h = MemoryHierarchy(4, mode="cache", params=params)
+        h.access(0, 0, False, RefClass.STRIDED)
+        assert h.stats.get("l1_misses") == 1
+        assert "spm_hits" not in h.stats
+
+    def test_miss_generates_noc_and_dram_traffic(self, params):
+        h = MemoryHierarchy(4, mode="cache", params=params)
+        h.access(0, 1 << 20, False, RefClass.RANDOM_NOALIAS)
+        assert h.noc.total_flit_hops > 0
+        assert h.stats.get("energy_pj.dram") > 0
+
+    def test_write_sharing_generates_invalidations(self, params):
+        h = MemoryHierarchy(4, mode="cache", params=params)
+        for c in range(4):
+            h.access(c, 0, False, RefClass.RANDOM_NOALIAS)
+        h.access(0, 0, True, RefClass.RANDOM_NOALIAS)
+        assert h.coherence.stats.get("invalidations") == 3
+        # Other cores lost their copies.
+        assert not h.l1[1].contains(0)
+
+    def test_dirty_eviction_writes_back(self, params):
+        h = MemoryHierarchy(1, mode="cache", params=params)
+        # Fill one L1 set beyond capacity with dirty lines: set stride is
+        # l1_sets * line_bytes.
+        stride = params.l1_sets * params.line_bytes
+        for i in range(params.l1_ways + 1):
+            h.access(0, i * stride, True, RefClass.RANDOM_NOALIAS)
+        assert h.stats.get("l1_writebacks") >= 1
+
+    def test_finish_flushes_dirty_lines(self, params):
+        h = MemoryHierarchy(2, mode="cache", params=params)
+        h.access(0, 0, True, RefClass.RANDOM_NOALIAS)
+        h.finish()
+        assert h.stats.get("l1_writebacks") >= 1
+
+
+class TestHybridMode:
+    def test_strided_served_by_spm(self, params):
+        h = MemoryHierarchy(4, mode="hybrid", params=params)
+        strided_sweep(h, 0, 0, 1024)
+        assert h.stats.get("spm_hits") == 1024 // 8
+        assert h.stats.get("l1_misses") == 0
+
+    def test_spm_generates_no_coherence(self, params):
+        h = MemoryHierarchy(4, mode="hybrid", params=params)
+        strided_sweep(h, 0, 0, 2048, write=True)
+        h.finish()
+        assert h.coherence.stats.get("invalidations") == 0
+        assert h.noc.stats.get("flit_hops.coherence") == 0
+
+    def test_write_stream_avoids_fills(self, params):
+        h = MemoryHierarchy(1, mode="hybrid", params=params)
+        strided_sweep(h, 0, 0, 2048, write=True)
+        h.finish()
+        assert h.stats.get("dma_fills") == 0
+        assert h.stats.get("dma_writebacks") == 2048 // params.tile_bytes
+
+    def test_read_stream_fills_per_tile(self, params):
+        h = MemoryHierarchy(1, mode="hybrid", params=params)
+        strided_sweep(h, 0, 0, 2048, write=False)
+        h.finish()
+        assert h.stats.get("dma_fills") == 2048 // params.tile_bytes
+        assert h.stats.get("dma_writebacks") == 0
+
+    def test_unknown_not_mapped_goes_to_cache_after_filter(self, params):
+        h = MemoryHierarchy(4, mode="hybrid", params=params)
+        lat = h.access(0, 99 << 20, False, RefClass.RANDOM_UNKNOWN)
+        assert h.stats.get("unknown_filtered") == 1
+        assert h.stats.get("l1_misses") == 1
+        assert lat >= params.filter_cycles + params.l1_hit_cycles
+
+    def test_unknown_into_registered_region_consults_directory(self, params):
+        h = MemoryHierarchy(4, mode="hybrid", params=params)
+        h.register_filter_region(0, 1 << 20)
+        h.access(0, 4096, False, RefClass.RANDOM_UNKNOWN)
+        assert h.spm_directory.stats.get("lookups") == 1
+
+    def test_unknown_served_by_remote_spm(self, params):
+        h = MemoryHierarchy(4, mode="hybrid", params=params)
+        h.register_filter_region(0, 1 << 20)
+        h.pin_region(1, 0, 4096)  # core 1 owns [0, 4096)
+        lat = h.access(0, 128, False, RefClass.RANDOM_UNKNOWN)
+        assert h.stats.get("unknown_spm_served") == 1
+        assert h.stats.get("l1_misses") == 0
+        assert lat > params.filter_cycles + params.spm_hit_cycles  # NoC cost
+
+    def test_unknown_write_to_pinned_region_dirties_it(self, params):
+        h = MemoryHierarchy(4, mode="hybrid", params=params)
+        h.register_filter_region(0, 1 << 20)
+        h.pin_region(1, 0, 4096)
+        h.access(0, 128, True, RefClass.RANDOM_UNKNOWN)
+        h.finish()
+        assert h.stats.get("dma_writebacks") == 1
+
+    def test_pinned_access_is_single_cycle(self, params):
+        h = MemoryHierarchy(2, mode="hybrid", params=params)
+        h.pin_region(0, 0, 4096)
+        lat = h.access(0, 8, False, RefClass.STRIDED)
+        assert lat == pytest.approx(params.spm_hit_cycles)
+        assert h.stats.get("spm_pinned_hits") == 1
+
+    def test_pin_rejected_beyond_capacity(self, params):
+        h = MemoryHierarchy(1, mode="hybrid", params=params)
+        with pytest.raises(MemoryError):
+            h.pin_region(0, 0, params.spm_bytes + 1)
+
+    def test_mem_cycles_tracked_per_core(self, params):
+        h = MemoryHierarchy(2, mode="hybrid", params=params)
+        h.access(0, 0, False, RefClass.STRIDED)
+        h.access(1, 1 << 21, False, RefClass.RANDOM_NOALIAS)
+        assert h.mem_cycles[0] > 0
+        assert h.mem_cycles[1] > 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(2, mode="weird")
+
+
+class TestCrossModeComparison:
+    def test_streaming_writes_cost_less_noc_in_hybrid(self, params):
+        """The write-allocate round trip is the core Figure 1 mechanism."""
+        n = 4096
+        cache = MemoryHierarchy(4, mode="cache", params=params)
+        hybrid = MemoryHierarchy(4, mode="hybrid", params=params)
+        for h in (cache, hybrid):
+            strided_sweep(h, 0, 0, n, write=True)
+            h.finish()
+        assert hybrid.noc.total_flit_hops < cache.noc.total_flit_hops
+
+    def test_streaming_reads_cost_less_energy_in_hybrid(self, params):
+        n = 8192
+        cache = MemoryHierarchy(4, mode="cache", params=params)
+        hybrid = MemoryHierarchy(4, mode="hybrid", params=params)
+        for h in (cache, hybrid):
+            strided_sweep(h, 0, 0, n, write=False)
+            h.finish()
+        assert hybrid.energy_j < cache.energy_j

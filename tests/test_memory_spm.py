@@ -1,0 +1,145 @@
+"""Unit tests for scratchpads, tiling streams, SPM directory and filters."""
+
+import pytest
+
+from repro.memory.directory import SpmDirectory, SpmFilter
+from repro.memory.params import MemoryParams
+from repro.memory.spm import Scratchpad, TilingStream
+
+
+class TestScratchpad:
+    def test_map_and_holds(self):
+        s = Scratchpad(0, 4096)
+        s.map_range(1000, 100)
+        assert s.holds(1000)
+        assert s.holds(1099)
+        assert not s.holds(1100)
+
+    def test_capacity_enforced(self):
+        s = Scratchpad(0, 1024)
+        s.map_range(0, 1024)
+        with pytest.raises(MemoryError):
+            s.map_range(4096, 1)
+
+    def test_unmap_frees_capacity(self):
+        s = Scratchpad(0, 1024)
+        s.map_range(0, 1024)
+        s.unmap_range(0)
+        s.map_range(4096, 1024)
+        assert s.used_bytes == 1024
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Scratchpad(0, 0)
+        s = Scratchpad(0, 64)
+        with pytest.raises(ValueError):
+            s.map_range(0, 0)
+
+
+@pytest.fixture
+def params():
+    return MemoryParams(tile_bytes=256)
+
+
+class TestTilingStream:
+    def test_read_stream_fills_once_per_tile(self, params):
+        spm = Scratchpad(0, 4096)
+        st = TilingStream(spm, params)
+        transfers = []
+        for i in range(0, 512, 8):  # two tiles of reads
+            transfers += st.advance(i, write=False)
+        fills = [t for t in transfers if t.to_spm]
+        wbs = [t for t in transfers if not t.to_spm]
+        assert len(fills) == 2
+        assert len(wbs) == 0
+
+    def test_write_only_stream_never_fills(self, params):
+        spm = Scratchpad(0, 4096)
+        st = TilingStream(spm, params)
+        transfers = []
+        for i in range(0, 512, 8):
+            transfers += st.advance(i, write=True)
+        transfers += st.finish()
+        fills = [t for t in transfers if t.to_spm]
+        wbs = [t for t in transfers if not t.to_spm]
+        assert len(fills) == 0
+        assert len(wbs) == 2  # one writeback per dirty tile
+
+    def test_read_modify_write_fills_and_writes_back(self, params):
+        spm = Scratchpad(0, 4096)
+        st = TilingStream(spm, params)
+        transfers = st.advance(0, write=False)
+        transfers += st.advance(0, write=True)
+        transfers += st.finish()
+        assert sum(t.to_spm for t in transfers) == 1
+        assert sum(not t.to_spm for t in transfers) == 1
+
+    def test_only_one_tile_resident(self, params):
+        spm = Scratchpad(0, 4096)
+        st = TilingStream(spm, params)
+        st.advance(0, False)
+        st.advance(300, False)  # crosses into the second tile
+        assert spm.used_bytes == params.tile_bytes
+
+    def test_finish_idempotent(self, params):
+        spm = Scratchpad(0, 4096)
+        st = TilingStream(spm, params)
+        st.advance(0, True)
+        assert len(st.finish()) == 1
+        assert st.finish() == []
+
+    def test_transfer_sizes_are_tiles(self, params):
+        spm = Scratchpad(0, 4096)
+        st = TilingStream(spm, params)
+        t = st.advance(8, False)[0]
+        assert t.nbytes == params.tile_bytes
+        assert t.base_addr == 0  # tile-aligned
+
+
+class TestSpmDirectory:
+    def test_lookup_hit_and_miss(self):
+        d = SpmDirectory()
+        d.insert(1000, 100, core=3)
+        assert d.lookup(1050) == 3
+        assert d.lookup(2000) is None
+
+    def test_remove(self):
+        d = SpmDirectory()
+        d.insert(0, 64, 1)
+        d.remove(0, 64)
+        assert d.lookup(0) is None
+        assert d.n_ranges == 0
+
+    def test_multiple_owners(self):
+        d = SpmDirectory()
+        d.insert(0, 64, 1)
+        d.insert(64, 64, 2)
+        assert d.lookup(10) == 1
+        assert d.lookup(70) == 2
+
+
+class TestSpmFilter:
+    def test_no_false_negatives(self):
+        f = SpmFilter(segment_bytes=4096)
+        f.insert(10_000, 5000)
+        for addr in (10_000, 12_500, 14_999):
+            assert f.maybe_mapped(addr)
+
+    def test_false_positives_within_segment_granularity(self):
+        f = SpmFilter(segment_bytes=4096)
+        f.insert(0, 100)  # only 100 bytes, but the whole segment flags
+        assert f.maybe_mapped(4000)  # same 4 KiB segment: false positive
+        assert not f.maybe_mapped(5000)  # next segment: clean
+
+    def test_refcounted_removal(self):
+        f = SpmFilter(segment_bytes=4096)
+        f.insert(0, 100)
+        f.insert(50, 100)  # overlapping segment
+        f.remove(0, 100)
+        assert f.maybe_mapped(0)  # still referenced by the second range
+        f.remove(50, 100)
+        assert not f.maybe_mapped(0)
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(ValueError):
+            SpmFilter(segment_bytes=0)

@@ -1,0 +1,96 @@
+"""Tests for the synthetic SPD systems and the instrumented CG solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.resilience.cg import CgTiming, run_cg
+from repro.resilience.matrices import laplacian_2d, make_rhs, thermal2_proxy
+from repro.resilience.recovery import IdealScheme
+
+
+class TestMatrices:
+    def test_laplacian_is_symmetric(self):
+        a = laplacian_2d(8, 8)
+        assert (a != a.T).nnz == 0
+
+    def test_laplacian_is_positive_definite(self):
+        a = laplacian_2d(10, 10)
+        lmin = spla.eigsh(a, k=1, which="SA", return_eigenvectors=False)[0]
+        assert lmin > 0
+
+    def test_thermal_proxy_symmetric_pd(self):
+        a = thermal2_proxy(12, 12, seed=3)
+        assert abs(a - a.T).max() < 1e-12
+        lmin = spla.eigsh(a, k=1, which="SA", return_eigenvectors=False)[0]
+        assert lmin > 0
+
+    def test_thermal_proxy_is_sparse_and_local(self):
+        a = thermal2_proxy(16, 16)
+        assert a.nnz < 6 * a.shape[0]
+
+    def test_thermal_proxy_deterministic(self):
+        a = thermal2_proxy(8, 8, seed=5)
+        b = thermal2_proxy(8, 8, seed=5)
+        assert abs(a - b).max() == 0
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            laplacian_2d(1, 5)
+
+    def test_make_rhs_consistent(self):
+        a = thermal2_proxy(8, 8)
+        x_true, b = make_rhs(a)
+        assert np.allclose(a @ x_true, b)
+
+
+class TestCgSolver:
+    def test_converges_to_true_solution(self):
+        a = thermal2_proxy(16, 16)
+        x_true, b = make_rhs(a)
+        res = run_cg(a, b, IdealScheme(), tol=1e-10)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true) < 1e-6
+
+    def test_residual_decreases_overall(self):
+        a = thermal2_proxy(12, 12)
+        _, b = make_rhs(a)
+        res = run_cg(a, b, IdealScheme(), tol=1e-8)
+        first, last = res.records[0].residual, res.records[-1].residual
+        assert last < first * 1e-6
+
+    def test_time_advances_per_iteration(self):
+        a = laplacian_2d(8, 8)
+        _, b = make_rhs(a)
+        timing = CgTiming(iter_seconds=0.5)
+        res = run_cg(a, b, IdealScheme(), tol=1e-8, timing=timing)
+        assert res.time_s == pytest.approx(res.iterations * 0.5)
+
+    def test_records_are_monotone_in_time(self):
+        a = thermal2_proxy(10, 10)
+        _, b = make_rhs(a)
+        res = run_cg(a, b, IdealScheme())
+        times = [r.time_s for r in res.records]
+        assert times == sorted(times)
+
+    def test_max_iterations_respected(self):
+        a = thermal2_proxy(16, 16)
+        _, b = make_rhs(a)
+        res = run_cg(a, b, IdealScheme(), tol=1e-30, max_iterations=10)
+        assert not res.converged
+        assert res.iterations == 10
+
+    def test_warm_start(self):
+        a = thermal2_proxy(10, 10)
+        x_true, b = make_rhs(a)
+        res = run_cg(a, b, IdealScheme(), x0=x_true + 1e-6)
+        cold = run_cg(a, b, IdealScheme())
+        assert res.iterations < cold.iterations
+
+    def test_curve_returns_log_points(self):
+        a = laplacian_2d(6, 6)
+        _, b = make_rhs(a)
+        res = run_cg(a, b, IdealScheme())
+        pts = res.curve()
+        assert len(pts) == len(res.records)
+        assert pts[-1][1] < pts[0][1]

@@ -1,0 +1,124 @@
+"""Unit tests for the DVFS mechanisms and the Runtime Support Unit."""
+
+import pytest
+
+from repro.sim.dvfs import RsuDvfsController, SoftwareDvfsController
+from repro.sim.machine import Machine
+from repro.sim.rsu import RsuPolicy, RuntimeSupportUnit, TaskCriticality
+
+
+@pytest.fixture
+def machine():
+    return Machine(8, initial_level=2)
+
+
+class TestSoftwareDvfs:
+    def test_single_request_cost(self, machine):
+        ctl = SoftwareDvfsController(machine, reconfig_latency_s=50e-6,
+                                     syscall_latency_s=2e-6)
+        res = ctl.request_level(0, 4, now=0.0)
+        assert res.level == 4
+        assert res.stall_seconds == pytest.approx(52e-6)
+        assert machine.cores[0].level == 4
+
+    def test_noop_request_only_pays_syscall(self, machine):
+        ctl = SoftwareDvfsController(machine)
+        res = ctl.request_level(0, 2, now=0.0)  # already at level 2
+        assert res.stall_seconds == pytest.approx(ctl.syscall_latency_s)
+        assert ctl.stats.get("noop_requests") == 1
+
+    def test_contention_serialises_requests(self, machine):
+        ctl = SoftwareDvfsController(machine, reconfig_latency_s=50e-6,
+                                     syscall_latency_s=0.0)
+        stalls = [ctl.request_level(i, 4, now=0.0).stall_seconds for i in range(4)]
+        # Each later requester waits for all earlier holders of the lock.
+        assert stalls == pytest.approx([50e-6, 100e-6, 150e-6, 200e-6])
+        assert ctl.stats.get("lock_wait_seconds") == pytest.approx(
+            50e-6 + 100e-6 + 150e-6
+        )
+
+    def test_lock_frees_over_time(self, machine):
+        ctl = SoftwareDvfsController(machine, reconfig_latency_s=50e-6,
+                                     syscall_latency_s=0.0)
+        ctl.request_level(0, 4, now=0.0)
+        res = ctl.request_level(1, 4, now=1.0)  # long after the lock freed
+        assert res.stall_seconds == pytest.approx(50e-6)
+
+
+class TestRsuDvfs:
+    def test_request_is_cheap_and_applies_later(self, machine):
+        ctl = RsuDvfsController(machine, interface_latency_s=100e-9,
+                                apply_latency_s=500e-9)
+        res = ctl.request_level(0, 4, now=0.0)
+        assert res.stall_seconds == pytest.approx(100e-9)
+        assert res.applied_at == pytest.approx(600e-9)
+        assert machine.cores[0].level == 4
+
+    def test_no_contention_between_cores(self, machine):
+        ctl = RsuDvfsController(machine)
+        stalls = [ctl.request_level(i, 4, now=0.0).stall_seconds for i in range(8)]
+        assert max(stalls) == pytest.approx(min(stalls))
+
+    def test_rsu_much_cheaper_than_software(self, machine):
+        """The Section 3.1 motivation: hardware support removes the
+        lock-contention overhead that grows with core count."""
+        m2 = Machine(8, initial_level=2)
+        sw = SoftwareDvfsController(machine)
+        hw = RsuDvfsController(m2)
+        sw_total = sum(sw.request_level(i, 4, 0.0).stall_seconds for i in range(8))
+        hw_total = sum(hw.request_level(i, 4, 0.0).stall_seconds for i in range(8))
+        assert sw_total > 100 * hw_total
+
+
+class TestRuntimeSupportUnit:
+    def make_rsu(self, machine, budget=None, **policy):
+        machine.power_budget_w = budget
+        ctl = RsuDvfsController(machine)
+        return RuntimeSupportUnit(machine, ctl, RsuPolicy(**policy))
+
+    def test_critical_tasks_get_boost(self, machine):
+        rsu = self.make_rsu(machine)
+        res = rsu.notify_task_start(0, critical=True, now=0.0)
+        assert res.level == machine.dvfs.max_level
+
+    def test_non_critical_tasks_get_efficient_level(self, machine):
+        rsu = self.make_rsu(machine)
+        res = rsu.notify_task_start(0, critical=False, now=0.0)
+        assert res.level == machine.dvfs.min_level
+
+    def test_budget_caps_boost(self):
+        m = Machine(8, initial_level=0)
+        # Budget that allows roughly one boosted core plus idle others.
+        one_boost = m.power_if_levels(
+            [m.dvfs.max_level] + [0] * 7, [True] + [False] * 7
+        )
+        rsu = RuntimeSupportUnit(
+            m, RsuDvfsController(m), RsuPolicy(respect_budget=True)
+        )
+        m.power_budget_w = one_boost + 0.1
+        first = rsu.notify_task_start(0, critical=True, now=0.0)
+        assert first.level == m.dvfs.max_level
+        second = rsu.notify_task_start(1, critical=True, now=0.0)
+        assert second.level < m.dvfs.max_level
+
+    def test_budget_ignored_when_policy_says_so(self):
+        m = Machine(8, initial_level=0, power_budget_w=1.0)  # absurdly tight
+        rsu = RuntimeSupportUnit(
+            m, RsuDvfsController(m), RsuPolicy(respect_budget=False)
+        )
+        res = rsu.notify_task_start(0, critical=True, now=0.0)
+        assert res.level == m.dvfs.max_level
+
+    def test_task_end_resets_criticality_table(self, machine):
+        rsu = self.make_rsu(machine)
+        rsu.notify_task_start(0, critical=True, now=0.0)
+        assert rsu.criticality[0] is TaskCriticality.CRITICAL
+        rsu.notify_task_end(0, now=1.0)
+        assert rsu.criticality[0] is TaskCriticality.IDLE
+
+    def test_stats_count_notifications(self, machine):
+        rsu = self.make_rsu(machine)
+        rsu.notify_task_start(0, critical=True, now=0.0)
+        rsu.notify_task_start(1, critical=False, now=0.0)
+        assert rsu.stats.get("notifications") == 2
+        assert rsu.stats.get("critical_notifications") == 1

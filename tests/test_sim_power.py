@@ -1,0 +1,121 @@
+"""Unit tests for DVFS tables, the power model and energy accounting."""
+
+import pytest
+
+from repro.sim.power import (
+    DEFAULT_DVFS_TABLE,
+    DvfsTable,
+    EnergyAccount,
+    OperatingPoint,
+    PowerModel,
+    edp,
+)
+
+
+class TestOperatingPoint:
+    def test_frequency_conversion(self):
+        op = OperatingPoint(2.5, 1.0)
+        assert op.frequency_hz == pytest.approx(2.5e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(1.0, -0.5)
+
+
+class TestDvfsTable:
+    def test_linear_table_spans_range(self):
+        t = DvfsTable.linear(5, 1.0, 3.0, 0.7, 1.2)
+        assert len(t) == 5
+        assert t[0].frequency_ghz == pytest.approx(1.0)
+        assert t[4].frequency_ghz == pytest.approx(3.0)
+        assert t[0].voltage == pytest.approx(0.7)
+        assert t[4].voltage == pytest.approx(1.2)
+
+    def test_table_must_increase(self):
+        with pytest.raises(ValueError):
+            DvfsTable([OperatingPoint(2.0, 1.0), OperatingPoint(1.0, 0.8)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsTable([])
+
+    def test_single_level(self):
+        t = DvfsTable.linear(1, f_max_ghz=2.0, v_max=1.0)
+        assert len(t) == 1
+        assert t.max_level == 0
+
+    def test_default_table_has_five_levels(self):
+        assert len(DEFAULT_DVFS_TABLE) == 5
+
+
+class TestPowerModel:
+    def test_dynamic_power_scales_with_v_squared_f(self):
+        pm = PowerModel(ceff_nf=1.0, leak_w_per_v=0.0)
+        low = OperatingPoint(1.0, 0.7)
+        high = OperatingPoint(2.0, 1.4)
+        # 2x frequency and 2x voltage => 8x dynamic power.
+        assert pm.dynamic_power(high) == pytest.approx(8 * pm.dynamic_power(low))
+
+    def test_known_dynamic_power_value(self):
+        pm = PowerModel(ceff_nf=1.0)
+        op = OperatingPoint(3.0, 1.2)
+        assert pm.dynamic_power(op) == pytest.approx(1e-9 * 1.44 * 3e9)
+
+    def test_idle_below_busy(self):
+        pm = PowerModel()
+        op = OperatingPoint(2.0, 1.0)
+        assert pm.idle_power(op) < pm.busy_power(op)
+
+    def test_static_power_tracks_voltage(self):
+        pm = PowerModel(leak_w_per_v=0.5)
+        assert pm.static_power(OperatingPoint(1.0, 1.0)) == pytest.approx(0.5)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(ceff_nf=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(idle_fraction=1.5)
+
+
+class TestEnergyAccount:
+    def test_accumulate(self):
+        acc = EnergyAccount()
+        acc.accumulate(10.0, 2.0)
+        acc.accumulate(5.0, 1.0)
+        assert acc.joules == pytest.approx(25.0)
+
+    def test_negative_time_rejected(self):
+        acc = EnergyAccount()
+        with pytest.raises(ValueError):
+            acc.accumulate(1.0, -1.0)
+
+    def test_merge(self):
+        a, b = EnergyAccount(), EnergyAccount()
+        a.accumulate(1.0, 1.0)
+        b.accumulate(2.0, 3.0)
+        a.merge(b)
+        assert a.joules == pytest.approx(7.0)
+
+
+def test_edp_is_energy_times_delay():
+    assert edp(10.0, 2.0) == pytest.approx(20.0)
+
+
+def test_race_to_idle_tradeoff_visible_in_model():
+    """Running fast costs more power but less time; the model must expose a
+    real EDP trade-off (not a degenerate always-fast or always-slow one)."""
+    pm = PowerModel()
+    table = DEFAULT_DVFS_TABLE
+    work_cycles = 1e9
+
+    def energy_and_time(level):
+        op = table[level]
+        t = work_cycles / op.frequency_hz
+        return pm.busy_power(op) * t, t
+
+    e_slow, t_slow = energy_and_time(0)
+    e_fast, t_fast = energy_and_time(table.max_level)
+    assert t_fast < t_slow
+    assert e_fast > e_slow  # V^2 penalty dominates shorter runtime

@@ -1,0 +1,138 @@
+"""Unit tests for the stats and trace infrastructure."""
+
+import pytest
+
+from repro.sim.stats import StatSet, Timeline, WeightedMean, geometric_mean
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+class TestStatSet:
+    def test_default_zero_and_add(self):
+        s = StatSet("x")
+        assert s.get("missing") == 0.0
+        s.add("hits")
+        s.add("hits", 2.5)
+        assert s["hits"] == pytest.approx(3.5)
+
+    def test_contains_and_keys(self):
+        s = StatSet()
+        s.add("a")
+        assert "a" in s and "b" not in s
+        assert list(s.keys()) == ["a"]
+
+    def test_merge_and_scaled(self):
+        a, b = StatSet(), StatSet()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+        half = a.scaled(0.5)
+        assert half["x"] == 1.5
+
+    def test_reset(self):
+        s = StatSet()
+        s.add("x")
+        s.reset()
+        assert s.get("x") == 0.0
+
+
+class TestTimeline:
+    def test_value_at(self):
+        t = Timeline()
+        t.record(0.0, 1.0)
+        t.record(2.0, 5.0)
+        assert t.value_at(0.5) == 1.0
+        assert t.value_at(2.0) == 5.0
+        assert t.value_at(10.0) == 5.0
+
+    def test_integrate(self):
+        t = Timeline()
+        t.record(0.0, 2.0)
+        t.record(1.0, 4.0)
+        assert t.integrate(0.0, 2.0) == pytest.approx(2.0 + 4.0)
+        assert t.integrate(0.5, 1.5) == pytest.approx(1.0 + 2.0)
+
+    def test_out_of_order_rejected(self):
+        t = Timeline()
+        t.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            t.record(0.5, 2.0)
+
+    def test_same_time_overwrites(self):
+        t = Timeline()
+        t.record(1.0, 1.0)
+        t.record(1.0, 9.0)
+        assert t.value_at(1.0) == 9.0
+
+    def test_empty_timeline_value_raises(self):
+        with pytest.raises(ValueError):
+            Timeline().value_at(0.0)
+
+
+class TestWeightedMean:
+    def test_weighted(self):
+        m = WeightedMean()
+        m.add(1.0, weight=1.0)
+        m.add(3.0, weight=3.0)
+        assert m.mean == pytest.approx(2.5)
+        assert m.weight == 4.0
+
+    def test_empty_mean_zero(self):
+        assert WeightedMean().mean == 0.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+def rec(task_id, core, start, end, critical=False):
+    return TraceRecord(task_id, f"t{task_id}", core, start, end, 2.0, critical)
+
+
+class TestTraceRecorder:
+    def test_makespan_and_busy(self):
+        tr = TraceRecorder()
+        tr.record(rec(0, 0, 0.0, 1.0))
+        tr.record(rec(1, 1, 0.5, 2.0))
+        assert tr.makespan() == pytest.approx(2.0)
+        assert tr.core_busy_time(1) == pytest.approx(1.5)
+        assert len(tr) == 2
+
+    def test_utilisation(self):
+        tr = TraceRecorder()
+        tr.record(rec(0, 0, 0.0, 2.0))
+        tr.record(rec(1, 1, 0.0, 1.0))
+        assert tr.utilisation(2) == pytest.approx(0.75)
+
+    def test_validate_overlap_detection(self):
+        tr = TraceRecorder()
+        tr.record(rec(0, 0, 0.0, 1.0))
+        tr.record(rec(1, 0, 0.5, 2.0))  # overlaps on core 0
+        with pytest.raises(AssertionError):
+            tr.validate_no_overlap()
+
+    def test_gantt_renders_all_cores(self):
+        tr = TraceRecorder()
+        tr.record(rec(0, 0, 0.0, 1.0))
+        tr.record(rec(1, 1, 1.0, 2.0, critical=True))
+        art = tr.gantt(width=20)
+        assert "core   0" in art and "core   1" in art
+        assert "#" in art  # critical marker
+
+    def test_empty_gantt(self):
+        assert TraceRecorder().gantt() == "(empty trace)"
+
+    def test_by_core_sorted_by_start(self):
+        tr = TraceRecorder()
+        tr.record(rec(1, 0, 2.0, 3.0))
+        tr.record(rec(0, 0, 0.0, 1.0))
+        recs = tr.by_core()[0]
+        assert [r.task_id for r in recs] == [0, 1]

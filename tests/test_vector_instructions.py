@@ -1,0 +1,160 @@
+"""Unit + property tests for VPI/VLU semantics and the vector engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vector.engine import VectorEngine
+from repro.vector.instructions import (
+    vector_last_unique,
+    vector_prior_instances,
+)
+from repro.vector.params import VectorParams
+
+
+class TestVpiSemantics:
+    def test_paper_style_example(self):
+        v = np.array([3, 1, 3, 3, 1, 2])
+        assert vector_prior_instances(v).tolist() == [0, 0, 1, 2, 1, 0]
+
+    def test_all_distinct(self):
+        assert vector_prior_instances(np.arange(8)).tolist() == [0] * 8
+
+    def test_all_equal(self):
+        assert vector_prior_instances(np.zeros(5, int)).tolist() == list(range(5))
+
+    def test_empty(self):
+        assert len(vector_prior_instances(np.array([], dtype=int))) == 0
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            vector_prior_instances(np.zeros((2, 2)))
+
+    @given(st.lists(st.integers(0, 7), max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_definition(self, values):
+        v = np.array(values, dtype=int)
+        got = vector_prior_instances(v)
+        for i in range(len(v)):
+            assert got[i] == int(np.sum(v[:i] == v[i]))
+
+
+class TestVluSemantics:
+    def test_paper_style_example(self):
+        v = np.array([3, 1, 3, 3, 1, 2])
+        assert vector_last_unique(v).tolist() == [
+            False, False, False, True, True, True,
+        ]
+
+    def test_all_distinct(self):
+        assert vector_last_unique(np.arange(5)).all()
+
+    def test_all_equal(self):
+        out = vector_last_unique(np.zeros(5, int))
+        assert out.tolist() == [False] * 4 + [True]
+
+    @given(st.lists(st.integers(0, 7), max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_definition(self, values):
+        v = np.array(values, dtype=int)
+        got = vector_last_unique(v)
+        for i in range(len(v)):
+            assert got[i] == (int(np.sum(v[i + 1:] == v[i])) == 0)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_vlu_marks_exactly_one_slot_per_distinct_value(self, values):
+        v = np.array(values, dtype=int)
+        mask = vector_last_unique(v)
+        assert sorted(v[mask].tolist()) == sorted(set(values))
+
+
+class TestEngineCosts:
+    def test_unit_stride_scales_with_lanes(self):
+        mem = np.zeros(64)
+        e1 = VectorEngine(64, 1)
+        e4 = VectorEngine(64, 4)
+        e1.vload(mem, 0, 64)
+        e4.vload(mem, 0, 64)
+        p = e1.params
+        assert e1.cycles == pytest.approx(p.startup_cycles + 64)
+        assert e4.cycles == pytest.approx(p.startup_cycles + 16)
+
+    def test_indexed_has_bank_conflict_floor(self):
+        table = np.zeros(256)
+        idx = np.arange(64)
+        e = VectorEngine(64, 64)  # absurd lane count
+        e.vgather(table, idx)
+        p = e.params
+        assert e.cycles == pytest.approx(
+            p.startup_cycles + 64 * p.mem_indexed_min_beat
+        )
+
+    def test_serial_vpi_costs_full_vl(self):
+        e = VectorEngine(64, 4, parallel_vpi=False)
+        e.vpi(np.arange(64))
+        assert e.cycles == pytest.approx(e.params.startup_cycles + 64)
+
+    def test_parallel_vpi_scales_with_lanes(self):
+        e = VectorEngine(64, 4, parallel_vpi=True)
+        e.vpi(np.arange(64))
+        p = e.params
+        assert e.cycles == pytest.approx(
+            p.startup_cycles + 64 / 4 + p.vpi_parallel_overhead
+        )
+
+    def test_chain_takes_max_not_sum(self):
+        mem = np.zeros(64)
+        e = VectorEngine(64, 1)
+        with e.chain():
+            e.vload(mem, 0, 64)  # MEM: 64
+            e.vop(lambda x: x + 1, np.arange(64))  # ALU: 64
+        assert e.cycles == pytest.approx(e.params.startup_cycles + 64)
+
+    def test_unchained_sums(self):
+        mem = np.zeros(64)
+        e = VectorEngine(64, 1)
+        e.vload(mem, 0, 64)
+        e.vop(lambda x: x + 1, np.arange(64))
+        assert e.cycles == pytest.approx(2 * e.params.startup_cycles + 128)
+
+    def test_masked_scatter_charges_active_only(self):
+        table = np.zeros(64)
+        e = VectorEngine(64, 1)
+        mask = np.zeros(64, dtype=bool)
+        mask[:8] = True
+        e.vscatter(table, np.arange(64), np.ones(64), mask=mask)
+        assert e.cycles == pytest.approx(e.params.startup_cycles + 8)
+
+    def test_vl_checked_against_mvl(self):
+        e = VectorEngine(8, 1)
+        with pytest.raises(ValueError):
+            e.vload(np.zeros(100), 0, 9)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            VectorEngine(1, 1)
+        with pytest.raises(ValueError):
+            VectorEngine(8, 16)
+
+    def test_charge_stream_matches_manual_loop_for_unit_ops(self):
+        mem = np.zeros(256)
+        a = VectorEngine(64, 2)
+        for start in range(0, 256, 64):
+            with a.chain():
+                a.vload(mem, start, 64)
+        b = VectorEngine(64, 2)
+        b.charge_stream(256, mem_unit=1)
+        assert a.cycles == pytest.approx(b.cycles)
+
+    def test_scatter_writes_data(self):
+        table = np.zeros(8)
+        e = VectorEngine(8, 1)
+        e.vscatter(table, np.array([1, 3]), np.array([5.0, 7.0]))
+        assert table[1] == 5.0 and table[3] == 7.0
+
+    def test_reset(self):
+        e = VectorEngine(8, 1)
+        e.scalar(10)
+        e.reset()
+        assert e.cycles == 0

