@@ -1,0 +1,82 @@
+"""Event-kernel / dispatch throughput on the synthetic DAG families.
+
+Unlike the figure benchmarks (which check *simulated* numbers against the
+paper), this harness measures the simulator itself: host-side
+simulated-tasks/second across the :mod:`repro.apps.dag_workloads`
+families.  It establishes the perf trajectory of the hot path — every
+future kernel/dispatch optimisation should move these numbers up, never
+the makespans (which are asserted deterministic in the test suite).
+
+Run under pytest (``pytest benchmarks/bench_runtime_throughput.py``)
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.dag_workloads import WORKLOADS, make_workload
+from repro.core.runtime import Runtime
+from repro.core.schedulers import FifoScheduler
+from repro.sim.machine import Machine
+
+from conftest import banner, table
+
+FAMILIES = tuple(sorted(WORKLOADS))
+N_CORES = 16
+SCALE = 2
+SEED = 1
+
+
+def run_family(name: str, scale: int = SCALE, seed: int = SEED):
+    """Simulate one workload family; returns (n_tasks, host_seconds, result)."""
+    tasks = make_workload(name, scale=scale, seed=seed)
+    machine = Machine(N_CORES, initial_level=2)
+    rt = Runtime(machine, scheduler=FifoScheduler(), record_trace=False)
+    t0 = time.perf_counter()
+    rt.submit_all(tasks)
+    res = rt.run()
+    host_s = time.perf_counter() - t0
+    return len(tasks), host_s, res
+
+
+def report():
+    rows = []
+    for name in FAMILIES:
+        n_tasks, host_s, res = run_family(name)
+        rate = n_tasks / host_s if host_s > 0 else float("inf")
+        rows.append(
+            [
+                name,
+                n_tasks,
+                f"{host_s * 1e3:.1f} ms",
+                f"{rate:,.0f} tasks/s",
+                f"{res.makespan:.4g} s",
+            ]
+        )
+    banner(
+        f"Runtime throughput — {N_CORES} cores, scale={SCALE}, "
+        f"{len(FAMILIES)} workload families"
+    )
+    table(["family", "tasks", "host time", "sim throughput", "makespan"], rows)
+    return rows
+
+
+def test_runtime_throughput(benchmark):
+    benchmark.pedantic(run_family, args=("layered",), rounds=1, iterations=1)
+    rows = report()
+    assert len(rows) >= 3
+    for name in FAMILIES:
+        n_tasks, _, res = run_family(name)
+        assert n_tasks > 0
+        assert res.makespan > 0
+        # Deterministic simulation: a re-run must reproduce the makespan
+        # bit for bit.
+        _, _, res2 = run_family(name)
+        assert res2.makespan == res.makespan
+
+
+if __name__ == "__main__":
+    report()

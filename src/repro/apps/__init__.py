@@ -4,8 +4,11 @@
 * :mod:`~repro.apps.rsu_experiment` — criticality/DVFS experiments (Fig. 2)
 * :mod:`~repro.apps.parsec` — PARSEC task-graph models (Figure 5)
 * :mod:`~repro.apps.kernels` — generic TDG patterns used throughout
+* :mod:`~repro.apps.dag_workloads` — synthetic DAG families (random
+  layered, tiled Cholesky/LU, fork-join, pipelines) for scheduler and
+  throughput evaluation beyond the paper's figures
 """
 
-from . import kernels, nas, parsec, rsu_experiment
+from . import dag_workloads, kernels, nas, parsec, rsu_experiment
 
-__all__ = ["kernels", "nas", "parsec", "rsu_experiment"]
+__all__ = ["dag_workloads", "kernels", "nas", "parsec", "rsu_experiment"]

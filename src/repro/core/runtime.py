@@ -21,6 +21,7 @@ real numerics under a simulated parallel schedule.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -118,6 +119,9 @@ class Runtime:
         self._dispatch_scheduled = False
         self._rr_hint = 0
         self._pending_ready: List[Task] = []
+        # Explicit free-set of idle core ids, kept sorted ascending so the
+        # dispatcher visits cores in the same order as a full scan would.
+        self._idle_cores: List[int] = list(range(machine.n_cores))
         self._prepared = False
         self.submission = submission
         self.prefetcher = prefetcher
@@ -166,11 +170,15 @@ class Runtime:
         # cannot become ready before the master registered it.
         now = self.machine.sim.now
         if task.submit_time is not None and task.submit_time > now:
-            self.machine.sim.schedule_at(
-                task.submit_time, self._make_ready, task
-            )
-            # Avoid rescheduling loops: clear the gate before it re-fires.
-            task.submit_time = now
+            # Defer release until the master registered the task.  A gate
+            # flag (not clobbering submit_time) avoids rescheduling loops
+            # while preserving the registration timestamp for latency
+            # accounting.
+            if not task.release_pending:
+                task.release_pending = True
+                self.machine.sim.schedule_at(
+                    task.submit_time, self._make_ready, task
+                )
             return
         task.state = TaskState.READY
         task.ready_time = now
@@ -197,13 +205,26 @@ class Runtime:
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
         self._flush_ready()
-        for core in self.machine.cores:
-            if core.busy:
-                continue
-            task = self.scheduler.pop(core.core_id)
+        # Only idle cores are visited (ascending core id, the same order a
+        # full scan produces), and an empty scheduler — O(1) to check —
+        # short-circuits the wakeup entirely.
+        if not self._idle_cores or not self.scheduler:
+            return
+        scheduler = self.scheduler
+        idle = self._idle_cores
+        still_idle: List[int] = []
+        for pos, core_id in enumerate(idle):
+            if not scheduler:
+                # Queue drained mid-scan: every remaining pop would return
+                # None, so the rest of the free-set stays idle untouched.
+                still_idle.extend(idle[pos:])
+                break
+            task = scheduler.pop(core_id)
             if task is None:
-                continue
-            self._start(task, core.core_id)
+                still_idle.append(core_id)
+            else:
+                self._start(task, core_id)
+        self._idle_cores = still_idle
 
     def _start(self, task: Task, core_id: int) -> None:
         machine = self.machine
@@ -239,11 +260,15 @@ class Runtime:
         now = machine.sim.now
         core = machine.cores[task.core_id]
         core.end_work(now)
+        insort(self._idle_cores, task.core_id)
         task.state = TaskState.FINISHED
         self._unfinished -= 1
         self.stats.add("tasks_finished")
-        if self.trace is not None:
-            self.trace.record(
+        # No-trace fast path: with tracing off, no TraceRecord is ever
+        # allocated on the completion hot path.
+        trace = self.trace
+        if trace is not None:
+            trace.record(
                 TraceRecord(
                     task_id=task.task_id,
                     task_label=task.label,
@@ -257,8 +282,14 @@ class Runtime:
         if self.execute_functions and task.fn is not None:
             task.result = task.fn(*task.args, **task.kwargs)
         # Deterministic wake-up order: successor sets hash by task id, so
-        # raw set iteration would vary across processes/runs.
-        for succ in sorted(task.successors, key=lambda t: t.task_id):
+        # raw set iteration would vary across processes/runs.  The sorted
+        # list is cached (pre-computed at taskwait for the whole graph); a
+        # length mismatch means edges were added since, so re-sort.
+        succs = task.succ_order
+        if succs is None or len(succs) != len(task.successors):
+            succs = sorted(task.successors, key=lambda t: t.task_id)
+            task.succ_order = succs
+        for succ in succs:
             succ.unfinished_preds -= 1
             if succ.unfinished_preds == 0 and succ.state is TaskState.CREATED:
                 self._make_ready(succ)
@@ -279,6 +310,10 @@ class Runtime:
             # One-shot whole-graph criticality preparation (bottom levels /
             # oracle marking) before the first placement decision.
             self.prepare_criticality()
+            # Pre-sort every task's successor list once, instead of
+            # sorted() on every completion in the hot loop.
+            for t in self.graph.tasks:
+                t.succ_order = sorted(t.successors, key=lambda s: s.task_id)
             self._prepared = True
         while self._unfinished > 0:
             if not sim.step():

@@ -40,7 +40,13 @@ __all__ = [
 
 
 class Scheduler:
-    """Interface: the runtime pushes ready tasks and cores pop work."""
+    """Interface: the runtime pushes ready tasks and cores pop work.
+
+    The dispatcher short-circuits on scheduler truthiness, so ``__len__``
+    (and therefore ``ready_tasks`` if the O(n) fallback is inherited)
+    must be implemented and accurate: reporting empty while tasks are
+    queued would strand them forever.
+    """
 
     def push(self, task: Task, hint_core: Optional[int] = None) -> None:
         raise NotImplementedError
@@ -53,6 +59,12 @@ class Scheduler:
         raise NotImplementedError
 
     def __len__(self) -> int:
+        """Number of queued tasks.
+
+        The dispatcher consults this on every wakeup, so subclasses must
+        override it with an O(1) counter — this fallback walks
+        :meth:`ready_tasks` and is O(n).
+        """
         return sum(1 for _ in self.ready_tasks())
 
     def __bool__(self) -> bool:
@@ -138,16 +150,19 @@ class WorkStealingScheduler(Scheduler):
             raise ValueError("need at least one core")
         self._deques: List[deque[Task]] = [deque() for _ in range(n_cores)]
         self._rr = itertools.count()
+        self._n = 0
         self.steals = 0
 
     def push(self, task: Task, hint_core: Optional[int] = None) -> None:
         if hint_core is None:
             hint_core = next(self._rr) % len(self._deques)
         self._deques[hint_core % len(self._deques)].append(task)
+        self._n += 1
 
     def pop(self, core_id: int) -> Optional[Task]:
         own = self._deques[core_id % len(self._deques)]
         if own:
+            self._n -= 1
             return own.pop()  # LIFO on own deque: locality
         victim = max(
             range(len(self._deques)),
@@ -155,6 +170,7 @@ class WorkStealingScheduler(Scheduler):
         )
         if self._deques[victim]:
             self.steals += 1
+            self._n -= 1
             return self._deques[victim].popleft()  # FIFO steal: oldest work
         return None
 
@@ -165,7 +181,7 @@ class WorkStealingScheduler(Scheduler):
         return out
 
     def __len__(self) -> int:
-        return sum(len(dq) for dq in self._deques)
+        return self._n
 
 
 class CriticalityAwareScheduler(Scheduler):
@@ -223,14 +239,19 @@ class StaticScheduler(Scheduler):
             raise ValueError("need at least one core")
         self._queues: List[deque[Task]] = [deque() for _ in range(n_cores)]
         self._next = itertools.count()
+        self._n = 0
 
     def push(self, task: Task, hint_core: Optional[int] = None) -> None:
         core = hint_core if hint_core is not None else next(self._next)
         self._queues[core % len(self._queues)].append(task)
+        self._n += 1
 
     def pop(self, core_id: int) -> Optional[Task]:
         own = self._queues[core_id % len(self._queues)]
-        return own.popleft() if own else None
+        if own:
+            self._n -= 1
+            return own.popleft()
+        return None
 
     def ready_tasks(self) -> Iterable[Task]:
         out: List[Task] = []
@@ -239,4 +260,4 @@ class StaticScheduler(Scheduler):
         return out
 
     def __len__(self) -> int:
-        return sum(len(dq) for dq in self._queues)
+        return self._n

@@ -163,6 +163,12 @@ class Task:
     bottom_level: float = 0.0
     critical: bool = False
     depth: int = 0
+    # deterministic wake-up order, cached by the runtime once the graph is
+    # complete (invalidated by length mismatch when edges are added later)
+    succ_order: Optional[List["Task"]] = None
+    # True once the runtime has scheduled the deferred release of a task
+    # whose registration (submit_time) lies in the simulated future
+    release_pending: bool = False
     # bookkeeping filled in by the executor
     submit_time: Optional[float] = None
     ready_time: Optional[float] = None

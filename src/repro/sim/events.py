@@ -37,32 +37,62 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancel()
 
 
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` with stable ordering."""
+    """Binary-heap priority queue of :class:`Event` with stable ordering.
+
+    Live-event count is tracked incrementally so ``len()`` is O(1), and
+    cancelled entries are compacted lazily: when they outnumber live ones
+    the heap is rebuilt without them, keeping pops amortised O(log n) in
+    the number of *live* events even under heavy cancellation.
+    """
+
+    #: Below this heap size compaction is not worth the rebuild.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN
+            and self._live * 2 < len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        # (time, seq) is a total order, so heapify preserves pop order.
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest live event, or ``None`` when empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event._queue = None  # fired: a late cancel() must not recount
                 return event
         return None
 
@@ -132,7 +162,10 @@ class Simulator:
             if next_time is None:
                 return
             if until is not None and next_time > until:
-                self.now = until
+                # Advance to the horizon, but never rewind: an `until` in
+                # the past must leave the clock where it is.
+                if until > self.now:
+                    self.now = until
                 return
             self.step()
             processed += 1

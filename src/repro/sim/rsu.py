@@ -95,6 +95,23 @@ class RuntimeSupportUnit:
         self.idle_level = (
             table.min_level if policy.idle_level is None else policy.idle_level
         )
+        for name, level in (
+            ("boost_level", self.boost_level),
+            ("efficient_level", self.efficient_level),
+            ("idle_level", self.idle_level),
+        ):
+            if not table.min_level <= level <= table.max_level:
+                raise ValueError(
+                    f"RsuPolicy.{name}={level} outside DVFS table range "
+                    f"[{table.min_level}, {table.max_level}]"
+                )
+        if self.boost_level < self.efficient_level:
+            # An inverted policy would make _budget_capped_level silently
+            # grant a level *above* the boost request, busting the budget.
+            raise ValueError(
+                f"RsuPolicy.boost_level={self.boost_level} must be >= "
+                f"efficient_level={self.efficient_level}"
+            )
         self.respect_budget = policy.respect_budget
         self.criticality: Dict[int, TaskCriticality] = {
             c.core_id: TaskCriticality.IDLE for c in machine.cores
@@ -118,6 +135,8 @@ class RuntimeSupportUnit:
             if self.machine.power_if_levels(levels, busy) <= budget:
                 return level
         self.stats.add("budget_denials")
+        # Constructor validation guarantees efficient_level <= boost_level,
+        # so this fallback can never exceed the request.
         return self.efficient_level
 
     def desired_level(self, criticality: TaskCriticality) -> int:

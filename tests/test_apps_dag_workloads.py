@@ -1,0 +1,127 @@
+"""Tests for the synthetic DAG workload generators."""
+
+import pytest
+
+from repro.apps import dag_workloads as dw
+from repro.core.runtime import Runtime
+from repro.core.task import Task, TaskState
+from repro.sim.machine import Machine
+
+
+def signature(tasks):
+    """Seed-independent structural fingerprint of a generated task list."""
+    return [
+        (
+            t.label,
+            t.cpu_cycles,
+            t.mem_seconds,
+            tuple((d.kind, d.region) for d in t.deps),
+        )
+        for t in tasks
+    ]
+
+
+def build_graph(tasks, n_cores=4):
+    rt = Runtime(Machine(n_cores), record_trace=False)
+    rt.submit_all(tasks)
+    return rt
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(dw.WORKLOADS))
+    def test_same_seed_same_workload(self, name):
+        a = dw.make_workload(name, scale=1, seed=7)
+        b = dw.make_workload(name, scale=1, seed=7)
+        assert signature(a) == signature(b)
+
+    def test_different_seed_differs(self):
+        a = dw.random_layered(4, 6, fanin=2, jitter=0.5, seed=1)
+        b = dw.random_layered(4, 6, fanin=2, jitter=0.5, seed=2)
+        assert signature(a) != signature(b)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            dw.make_workload("nope")
+
+
+class TestTopologyInvariants:
+    @pytest.mark.parametrize("name", sorted(dw.WORKLOADS))
+    def test_acyclic(self, name):
+        rt = build_graph(dw.make_workload(name, scale=1, seed=3))
+        order = rt.graph.topological_order()  # raises CycleError on cycles
+        assert len(order) == len(rt.graph)
+
+    def test_layered_width_and_depth(self):
+        n_layers, width = 5, 7
+        tasks = dw.random_layered(n_layers, width, fanin=3, seed=0)
+        assert len(tasks) == n_layers * width
+        rt = build_graph(tasks)
+        by_depth = {}
+        for t in rt.graph.tasks:
+            by_depth.setdefault(t.depth, []).append(t)
+        assert max(by_depth) == n_layers - 1
+        for d in range(n_layers):
+            assert len(by_depth[d]) == width
+
+    def test_layered_fanin_respected(self):
+        tasks = dw.random_layered(3, 8, fanin=3, seed=1)
+        rt = build_graph(tasks)
+        for t in rt.graph.tasks:
+            if t.depth > 0:
+                assert 1 <= len(t.predecessors) <= 3
+
+    def test_cholesky_task_count(self):
+        nt = 4
+        tasks = dw.cholesky_tiles(nt)
+        # nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + C(nt,3) gemm
+        expected = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) // 6
+        assert len(tasks) == expected
+
+    def test_cholesky_final_potrf_is_sink(self):
+        nt = 3
+        rt = build_graph(dw.cholesky_tiles(nt))
+        sinks = rt.graph.sinks()
+        assert [t.label for t in sinks] == [f"potrf.{nt - 1}"]
+
+    def test_lu_task_count(self):
+        nt = 3
+        tasks = dw.lu_tiles(nt)
+        # nt getrf + 2 * sum(nt-1-k) trsm + sum (nt-1-k)^2 gemm
+        trsm = nt * (nt - 1)
+        gemm = sum((nt - 1 - k) ** 2 for k in range(nt))
+        assert len(tasks) == nt + trsm + gemm
+
+    def test_fork_join_rounds_serialise(self):
+        rt = build_graph(dw.fork_join_ladder(width=4, depth=3, seed=0))
+        joins = [t for t in rt.graph.tasks if t.label.startswith("join")]
+        assert [t.depth for t in joins] == [1, 3, 5]
+
+    def test_pipeline_stage_skew_costs(self):
+        tasks = dw.pipeline_grid(3, 2, cpu_cycles=1e6, stage_skew=1.0)
+        stage_costs = {
+            t.label.split(".")[0]: t.cpu_cycles for t in tasks
+        }
+        assert stage_costs["stage1"] == pytest.approx(2 * stage_costs["stage0"] / 1)
+        assert stage_costs["stage2"] == pytest.approx(3e6)
+
+    def test_mem_ratio_splits_reference_budget(self):
+        (t,) = dw.random_layered(1, 1, cpu_cycles=1e6, mem_ratio=0.25)
+        # Total reference-frequency duration is preserved by the split.
+        assert t.duration_at(dw.REFERENCE_HZ) == pytest.approx(1e6 / dw.REFERENCE_HZ)
+        assert t.mem_seconds == pytest.approx(0.25e-3)
+
+    def test_mem_ratio_validated(self):
+        with pytest.raises(ValueError):
+            dw.random_layered(2, 2, mem_ratio=1.5)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(dw.WORKLOADS))
+    def test_runs_to_completion_without_deadlock(self, name):
+        tasks = dw.make_workload(name, scale=1, seed=5)
+        rt = Runtime(Machine(4))
+        rt.submit_all(tasks)
+        res = rt.run()
+        assert res.makespan > 0
+        assert all(t.state is TaskState.FINISHED for t in tasks)
+        res.trace.validate_no_overlap()

@@ -116,6 +116,37 @@ class TestRuntimeSupportUnit:
         rsu.notify_task_end(0, now=1.0)
         assert rsu.criticality[0] is TaskCriticality.IDLE
 
+    def test_inverted_policy_rejected_at_construction(self, machine):
+        """Regression: boost_level < efficient_level used to make the
+        budget-capped fallback silently grant a *higher* frequency than
+        requested, busting the power budget."""
+        machine.power_budget_w = 50.0
+        with pytest.raises(ValueError):
+            RuntimeSupportUnit(
+                machine,
+                RsuDvfsController(machine),
+                RsuPolicy(boost_level=0,
+                          efficient_level=machine.dvfs.max_level),
+            )
+
+    def test_out_of_range_levels_rejected(self, machine):
+        ctl = RsuDvfsController(machine)
+        for bad in (
+            RsuPolicy(boost_level=machine.dvfs.max_level + 1),
+            RsuPolicy(efficient_level=-1),
+            RsuPolicy(idle_level=99),
+        ):
+            with pytest.raises(ValueError):
+                RuntimeSupportUnit(machine, ctl, bad)
+
+    def test_budget_cap_never_exceeds_request(self):
+        m = Machine(8, initial_level=0, power_budget_w=1.0)  # starvation
+        rsu = RuntimeSupportUnit(
+            m, RsuDvfsController(m), RsuPolicy(respect_budget=True)
+        )
+        res = rsu.notify_task_start(0, critical=True, now=0.0)
+        assert res.level <= rsu.boost_level
+
     def test_stats_count_notifications(self, machine):
         rsu = self.make_rsu(machine)
         rsu.notify_task_start(0, critical=True, now=0.0)

@@ -47,6 +47,39 @@ class TestEventQueue:
         e.cancel()
         assert q.peek_time() == 5.0
 
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        e.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is e
+        e.cancel()  # already fired: must not decrement the live count
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert q.pop() is None
+
+    def test_mass_cancellation_compacts_lazily(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(500)]
+        keep = events[::10]
+        for e in events:
+            if e not in keep:
+                e.cancel()
+        assert len(q) == len(keep)
+        # Compaction kicked in: the heap no longer drags dead entries.
+        assert len(q._heap) < 500
+        popped = []
+        while (e := q.pop()) is not None:
+            popped.append(e.time)
+        assert popped == sorted(e.time for e in keep)
+
 
 class TestSimulator:
     def test_clock_advances_to_event_times(self):
@@ -108,6 +141,18 @@ class TestSimulator:
         sim.reset()
         assert sim.now == 0.0
         assert sim.queue.pop() is None
+
+    def test_run_until_in_past_does_not_rewind_clock(self):
+        """Regression: run(until=t) with t < now must not move time back."""
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        sim.schedule(3.0, lambda: None)  # pending event at t=8
+        sim.run(until=2.0)  # horizon already in the past
+        assert sim.now == 5.0
+        sim.run()
+        assert sim.now == 8.0
 
     def test_same_time_events_fire_in_schedule_order(self):
         sim = Simulator()
