@@ -7,14 +7,17 @@ in terms of performance and EDP on a simulated 32-core processor"*, and
 *"the cost of reconfiguring the hardware with a software-only solution
 rises with the number of cores due to locks contention and
 reconfiguration overhead"*.
+
+Both sweeps are campaign presets (``fig2_rsu``, ``fig2_overhead``)
+executed through :func:`repro.campaign.run_campaign`: the numbers
+asserted here are the same records ``python -m repro.campaign run
+--preset fig2_rsu`` persists to a result store.
 """
 
 import pytest
 
-from repro.apps.rsu_experiment import (
-    fig2_experiment,
-    reconfiguration_overhead_sweep,
-)
+from repro.apps.rsu_experiment import Fig2Result
+from repro.campaign import build_preset, run_campaign
 
 from conftest import banner, table
 
@@ -22,19 +25,50 @@ PAPER_PERF = 0.066
 PAPER_EDP = 0.200
 
 
+def fig2_from_records(records) -> Fig2Result:
+    """Fold the two fig2_rsu records into the static-vs-aware summary."""
+    metrics = {r["scenario"]["rsu"]: r["metrics"] for r in records}
+    static, aware = metrics["off"], metrics["annotated"]
+    return Fig2Result(
+        static_makespan=static["makespan"],
+        aware_makespan=aware["makespan"],
+        static_edp=static["edp"],
+        aware_edp=aware["edp"],
+    )
+
+
+def overhead_from_records(records):
+    """Fold fig2_overhead records into {mechanism: {cores: stall_s}}."""
+    out = {"software": {}, "rsu": {}}
+    for rec in records:
+        scen = rec["scenario"]
+        mech = "software" if scen["rsu"].endswith("software") else "rsu"
+        out[mech][scen["n_cores"]] = rec["stats"].get(
+            "dvfs_stall_seconds", 0.0
+        )
+    return out
+
+
 @pytest.fixture(scope="module")
 def result():
-    return fig2_experiment(n_cores=32)
+    summary = run_campaign(build_preset("fig2_rsu"))
+    assert summary.n_errors == 0
+    return fig2_from_records(summary.records)
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    return reconfiguration_overhead_sweep(core_counts=(4, 8, 16, 32, 64))
+    summary = run_campaign(
+        build_preset("fig2_overhead", core_counts=(4, 8, 16, 32, 64))
+    )
+    assert summary.n_errors == 0
+    return overhead_from_records(summary.records)
 
 
 def test_fig2_criticality_aware_dvfs(benchmark, result):
-    benchmark.pedantic(fig2_experiment, kwargs=dict(n_cores=32), rounds=1,
-                       iterations=1)
+    benchmark.pedantic(
+        lambda: run_campaign(build_preset("fig2_rsu")), rounds=1, iterations=1
+    )
 
     banner("Section 3.1 — criticality-aware DVFS vs static (32 cores)")
     table(
@@ -54,8 +88,7 @@ def test_fig2_criticality_aware_dvfs(benchmark, result):
 
 def test_fig2_reconfiguration_overhead(benchmark, sweep):
     benchmark.pedantic(
-        reconfiguration_overhead_sweep,
-        kwargs=dict(core_counts=(4, 16)),
+        lambda: run_campaign(build_preset("fig2_overhead", core_counts=(4, 16))),
         rounds=1,
         iterations=1,
     )

@@ -5,11 +5,16 @@ Pthreads versions for bodytrack and facesim on a 16-core machine.  Both
 applications improve significantly their scalability over the original
 code, reaching a scaling factor of 12 and 10, respectively, when running
 with 16 cores."*
+
+The app × variant × thread-count sweep is the campaign engine's
+``fig5_parsec`` preset; speedup curves are folded out of its records, so
+this bench and ``python -m repro.campaign run --preset fig5_parsec``
+measure exactly the same simulations.
 """
 
 import pytest
 
-from repro.apps.parsec import fig5_scalability
+from repro.campaign import Matrix, Scenario, build_preset, run_campaign
 
 from conftest import banner, table
 
@@ -17,14 +22,49 @@ THREADS = (1, 2, 4, 8, 12, 16)
 PAPER_AT_16 = {"bodytrack": 12.0, "facesim": 10.0}
 
 
+def curves_from_records(records):
+    """Fold fig5_parsec records into {app: {variant: {threads: speedup}}}.
+
+    Speedup is against each variant's own single-thread execution, as in
+    the paper's scalability plots.
+    """
+    makespans = {}
+    for rec in records:
+        _, app, variant = rec["scenario"]["family"].split(":")
+        makespans[(app, variant, rec["scenario"]["n_cores"])] = rec[
+            "metrics"
+        ]["makespan"]
+    curves = {}
+    for app in PAPER_AT_16:
+        curves[app] = {
+            variant: {
+                n: makespans[(app, variant, 1)] / makespans[(app, variant, n)]
+                for n in THREADS
+            }
+            for variant in ("pthreads", "ompss")
+        }
+    return curves
+
+
 @pytest.fixture(scope="module")
 def curves():
-    return {app: fig5_scalability(app, THREADS) for app in PAPER_AT_16}
+    summary = run_campaign(build_preset("fig5_parsec"))
+    assert summary.n_errors == 0
+    return curves_from_records(summary.records)
 
 
 def test_fig5_parsec_scalability(benchmark, curves):
+    bench_matrix = Matrix(
+        "fig5_bench",
+        tuple(
+            Scenario(
+                "parsec:bodytrack:ompss", scheduler="work_stealing", n_cores=n
+            )
+            for n in (1, 16)
+        ),
+    )
     benchmark.pedantic(
-        fig5_scalability, args=("bodytrack", (1, 16)), rounds=1, iterations=1
+        lambda: run_campaign(bench_matrix), rounds=1, iterations=1
     )
 
     for app, data in curves.items():

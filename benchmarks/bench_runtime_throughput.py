@@ -7,17 +7,28 @@ families.  It establishes the perf trajectory of the hot path — every
 future kernel/dispatch optimisation should move these numbers up, never
 the makespans (which are asserted deterministic in the test suite).
 
+The sweep is the campaign engine's ``throughput`` preset: a family ×
+scale matrix executed through :func:`repro.campaign.run_campaign`, so
+the numbers here and the tracked JSONL artifacts of
+``python -m repro.campaign run --preset throughput`` are the same
+records.  The ``--scale`` axis (tasks/s vs graph size) catches
+superlinear regressions that a single fixed size hides.
+
 Run under pytest (``pytest benchmarks/bench_runtime_throughput.py``)
 or standalone::
 
-    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --scale 1,2,4
 """
 
 from __future__ import annotations
 
+import argparse
 import time
+from typing import Sequence
 
 from repro.apps.dag_workloads import WORKLOADS, make_workload
+from repro.campaign import run_campaign
+from repro.campaign.presets import build_preset
 from repro.core.runtime import Runtime
 from repro.core.schedulers import FifoScheduler
 from repro.sim.machine import Machine
@@ -31,7 +42,11 @@ SEED = 1
 
 
 def run_family(name: str, scale: int = SCALE, seed: int = SEED):
-    """Simulate one workload family; returns (n_tasks, host_seconds, result)."""
+    """Simulate one workload family; returns (n_tasks, host_seconds, result).
+
+    The direct (non-campaign) path, kept for microbenchmark timing without
+    any harness overhead.
+    """
     tasks = make_workload(name, scale=scale, seed=seed)
     machine = Machine(N_CORES, initial_level=2)
     rt = Runtime(machine, scheduler=FifoScheduler(), record_trace=False)
@@ -42,41 +57,83 @@ def run_family(name: str, scale: int = SCALE, seed: int = SEED):
     return len(tasks), host_s, res
 
 
-def report():
+def run_sweep(scales: Sequence[int] = (SCALE,), workers: int = 1):
+    """The family × scale sweep through the campaign engine."""
+    matrix = build_preset("throughput", scales=tuple(scales))
+    return run_campaign(matrix, workers=workers)
+
+
+def report(scales: Sequence[int] = (SCALE,), workers: int = 1):
+    summary = run_sweep(scales, workers=workers)
     rows = []
-    for name in FAMILIES:
-        n_tasks, host_s, res = run_family(name)
-        rate = n_tasks / host_s if host_s > 0 else float("inf")
+    for rec in summary.records:
+        scen, met, tim = rec["scenario"], rec["metrics"], rec["timing"]
+        if rec["status"] != "ok":
+            # Crash-isolated scenarios carry no metrics; surface the
+            # captured error instead of crashing the table.
+            print(
+                f"ERROR {scen['family']} scale={scen['scale']}: "
+                f"{rec['error']['type']}: {rec['error']['message']}"
+            )
+            continue
         rows.append(
             [
-                name,
-                n_tasks,
-                f"{host_s * 1e3:.1f} ms",
-                f"{rate:,.0f} tasks/s",
-                f"{res.makespan:.4g} s",
+                scen["family"],
+                scen["scale"],
+                met["n_tasks"],
+                f"{tim['sim_s'] * 1e3:.1f} ms",
+                f"{tim['tasks_per_sec']:,.0f} tasks/s",
+                f"{met['makespan']:.4g} s",
             ]
         )
+    rows.sort(key=lambda r: (r[0], r[1]))
     banner(
-        f"Runtime throughput — {N_CORES} cores, scale={SCALE}, "
-        f"{len(FAMILIES)} workload families"
+        f"Runtime throughput — {N_CORES} cores, "
+        f"scales {tuple(scales)}, {len(FAMILIES)} workload families"
     )
-    table(["family", "tasks", "host time", "sim throughput", "makespan"], rows)
-    return rows
+    table(["family", "scale", "tasks", "host time", "sim throughput",
+           "makespan"], rows)
+    return summary
 
 
 def test_runtime_throughput(benchmark):
     benchmark.pedantic(run_family, args=("layered",), rounds=1, iterations=1)
-    rows = report()
-    assert len(rows) >= 3
+    summary = report(scales=(1, 2))
+    assert summary.n_errors == 0
+    assert len(summary.records) == len(FAMILIES) * 2
+    by_key = {
+        (r["scenario"]["family"], r["scenario"]["scale"]): r
+        for r in summary.records
+    }
     for name in FAMILIES:
-        n_tasks, _, res = run_family(name)
-        assert n_tasks > 0
-        assert res.makespan > 0
-        # Deterministic simulation: a re-run must reproduce the makespan
-        # bit for bit.
-        _, _, res2 = run_family(name)
-        assert res2.makespan == res.makespan
+        for scale in (1, 2):
+            met = by_key[(name, scale)]["metrics"]
+            assert met["n_tasks"] > 0
+            assert met["makespan"] > 0
+        # The scale axis grows the graph.
+        assert (
+            by_key[(name, 2)]["metrics"]["n_tasks"]
+            > by_key[(name, 1)]["metrics"]["n_tasks"]
+        )
+    # Deterministic simulation: a re-run must reproduce each record's
+    # metrics bit for bit (host timing excluded by construction).
+    rerun = {
+        (r["scenario"]["family"], r["scenario"]["scale"]): r
+        for r in run_sweep(scales=(1, 2)).records
+    }
+    for key, rec in by_key.items():
+        assert rerun[key]["metrics"] == rec["metrics"]
+        assert rerun[key]["stats"] == rec["stats"]
 
 
 if __name__ == "__main__":
-    report()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=str(SCALE),
+        help="comma-separated graph-scale list, e.g. 1,2,4 (default: 2)",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+    scale_list = tuple(int(s) for s in args.scale.split(",") if s)
+    report(scales=scale_list, workers=args.workers)

@@ -16,6 +16,9 @@ Subpackages
 ``repro.vector``     vector ISA + sorting algorithms      (Fig. 3)
 ``repro.resilience`` CG solver + DUE recovery schemes     (Fig. 4)
 ``repro.apps``       NAS / PARSEC workload models         (Figs. 1 & 5)
+``repro.campaign``   parallel, sharded experiment campaigns with a JSONL
+                     result store and regression gating
+                     (``python -m repro.campaign``)
 """
 
 __version__ = "1.0.0"

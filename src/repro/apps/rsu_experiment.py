@@ -37,6 +37,8 @@ from .kernels import critical_chain_with_fillers
 __all__ = [
     "CriticalityWorkload",
     "Fig2Result",
+    "SECTION31_DVFS_TABLE",
+    "make_section31_machine",
     "run_static",
     "run_criticality_aware",
     "fig2_experiment",
@@ -59,10 +61,20 @@ class CriticalityWorkload:
 #: V/f table of the simulated 32-core part: the usable voltage range of a
 #: server-class 2015 part is narrower than the architectural minimum, which
 #: bounds how much energy down-clocking non-critical tasks can save.
-_TABLE = DvfsTable.linear(5, f_min_ghz=1.0, f_max_ghz=3.0, v_min=0.85, v_max=1.2)
+#: Exported: the campaign engine builds its RSU-enabled machines from this
+#: exact table so campaign records reproduce the figure numbers bit for bit.
+SECTION31_DVFS_TABLE = DvfsTable.linear(
+    5, f_min_ghz=1.0, f_max_ghz=3.0, v_min=0.85, v_max=1.2
+)
+_TABLE = SECTION31_DVFS_TABLE
 
 
-def _machine(n_cores: int, budget_factor: Optional[float]) -> Machine:
+def make_section31_machine(
+    n_cores: int, budget_factor: Optional[float]
+) -> Machine:
+    """The Section 3.1 chip: narrow-voltage table, nominal 2.0 GHz, and —
+    when ``budget_factor`` is given — a chip power budget of
+    ``budget_factor × n_cores × nominal busy power``."""
     m = Machine(n_cores, dvfs=_TABLE, initial_level=2)  # nominal 2.0 GHz
     if budget_factor is not None:
         nominal = m.dvfs[2]
@@ -70,6 +82,9 @@ def _machine(n_cores: int, budget_factor: Optional[float]) -> Machine:
             budget_factor * n_cores * m.power_model.busy_power(nominal)
         )
     return m
+
+
+_machine = make_section31_machine
 
 
 def _submit(rt: Runtime, wl: CriticalityWorkload) -> None:

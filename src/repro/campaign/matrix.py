@@ -1,0 +1,220 @@
+"""Declarative scenario matrices.
+
+A :class:`Scenario` pins every axis of one simulated experiment —
+workload family, scheduler policy, RSU mode, machine size, graph scale,
+seed — plus free-form ``params`` for preset-specific knobs (power budget
+factor, chain shape, ...).  Scenarios are frozen and hashable; their
+:attr:`~Scenario.scenario_id` is a content hash of the axis values, so a
+result store can recognise an already-run scenario across processes,
+reruns and machines.
+
+A :class:`Matrix` is an ordered, named collection of scenarios.  The
+order is part of the contract: shard assignment (``matrix.shard(i, n)``)
+and worker distribution both derive from it, so the same matrix built
+twice always produces the same shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+__all__ = ["Scenario", "Matrix"]
+
+#: Parameter values must stay JSON-scalar so scenario ids are stable.
+_SCALAR = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-pinned experiment configuration.
+
+    Attributes
+    ----------
+    family:
+        Workload name: a :data:`repro.apps.dag_workloads.WORKLOADS` family
+        (``layered``, ``cholesky``, ``lu``, ``fork_join``, ``pipeline``),
+        the Section 3.1 ``chain`` workload, or ``parsec:<app>:<variant>``.
+    scheduler:
+        Ready-queue policy name (see ``repro.campaign.runner.SCHEDULERS``).
+    rsu:
+        DVFS/criticality mode: ``off`` (static nominal frequency),
+        ``annotated`` / ``oracle`` / ``heuristic`` (RSU-boosted with that
+        criticality policy), or ``annotated-software`` (software DVFS
+        mechanism, for the reconfiguration-overhead comparison).
+    n_cores:
+        Simulated machine size.
+    scale:
+        Workload size multiplier (family specific).
+    seed:
+        Workload RNG seed.
+    params:
+        Sorted tuple of extra ``(key, value)`` knobs; values must be JSON
+        scalars.  Use :meth:`with_params` / :meth:`param` rather than
+        touching the tuple directly.
+    """
+
+    family: str
+    scheduler: str = "fifo"
+    rsu: str = "off"
+    n_cores: int = 16
+    scale: int = 1
+    seed: int = 0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be positive")
+        if self.scale < 1:
+            raise ValueError("scale must be positive")
+        for key, value in self.params:
+            if not isinstance(key, str):
+                raise TypeError(f"param key {key!r} must be a string")
+            if not isinstance(value, _SCALAR):
+                raise TypeError(
+                    f"param {key!r} must be a JSON scalar, got {type(value)!r}"
+                )
+        # Canonical param order, so equal knob sets hash identically.
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    # ------------------------------------------------------------------
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def with_params(self, **kwargs: Any) -> "Scenario":
+        merged = dict(self.params)
+        merged.update(kwargs)
+        return replace(self, params=tuple(sorted(merged.items())))
+
+    # ------------------------------------------------------------------
+    def axes(self) -> Dict[str, Any]:
+        """The scenario as a plain JSON-ready mapping (params inlined)."""
+        return {
+            "family": self.family,
+            "scheduler": self.scheduler,
+            "rsu": self.rsu,
+            "n_cores": self.n_cores,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable content hash of the axis values (12 hex chars)."""
+        blob = json.dumps(self.axes(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+    @classmethod
+    def from_axes(cls, axes: Dict[str, Any]) -> "Scenario":
+        axes = dict(axes)
+        params = tuple(sorted(axes.pop("params", {}).items()))
+        return cls(params=params, **axes)
+
+    def describe(self) -> str:
+        base = (
+            f"{self.family} sched={self.scheduler} rsu={self.rsu} "
+            f"cores={self.n_cores} scale={self.scale} seed={self.seed}"
+        )
+        if self.params:
+            base += " " + " ".join(f"{k}={v}" for k, v in self.params)
+        return base
+
+
+@dataclass(frozen=True)
+class Matrix:
+    """An ordered, named set of scenarios (duplicates removed, order kept)."""
+
+    name: str
+    scenarios: Tuple[Scenario, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, Scenario] = {}
+        for s in self.scenarios:
+            seen.setdefault(s.scenario_id, s)
+        object.__setattr__(self, "scenarios", tuple(seen.values()))
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def product(
+        cls,
+        name: str,
+        families: Sequence[str],
+        schedulers: Sequence[str] = ("fifo",),
+        rsu_modes: Sequence[str] = ("off",),
+        core_counts: Sequence[int] = (16,),
+        scales: Sequence[int] = (1,),
+        seeds: Sequence[int] = (0,),
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "Matrix":
+        """Cross product of the axis value lists, in deterministic order."""
+        fixed = tuple(sorted((params or {}).items()))
+        scenarios = tuple(
+            Scenario(
+                family=f,
+                scheduler=s,
+                rsu=r,
+                n_cores=n,
+                scale=sc,
+                seed=seed,
+                params=fixed,
+            )
+            for f, s, r, n, sc, seed in itertools.product(
+                families, schedulers, rsu_modes, core_counts, scales, seeds
+            )
+        )
+        return cls(name, scenarios)
+
+    def extend(self, scenarios: Iterable[Scenario]) -> "Matrix":
+        return Matrix(self.name, self.scenarios + tuple(scenarios))
+
+    def filtered(
+        self, predicate: Optional[Callable[[Scenario], bool]] = None, **axes: Any
+    ) -> "Matrix":
+        """Scenarios matching ``predicate`` and every ``axis=value`` filter.
+
+        Axis values may be a single value or a collection of admissible
+        values: ``matrix.filtered(scheduler=("fifo", "lifo"), scale=1)``.
+        """
+
+        def keep(s: Scenario) -> bool:
+            if predicate is not None and not predicate(s):
+                return False
+            for axis, wanted in axes.items():
+                value = getattr(s, axis)
+                if isinstance(wanted, (list, tuple, set, frozenset)):
+                    if value not in wanted:
+                        return False
+                elif value != wanted:
+                    return False
+            return True
+
+        return Matrix(self.name, tuple(s for s in self.scenarios if keep(s)))
+
+    def shard(self, index: int, count: int) -> "Matrix":
+        """Deterministic round-robin shard ``index`` of ``count``.
+
+        Sharding is by position in the (stable) scenario order, so the
+        union of all shards is the full matrix and shards are disjoint —
+        the contract that lets a campaign spread across machines.
+        """
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} not in [0, {count})")
+        picked = tuple(
+            s for i, s in enumerate(self.scenarios) if i % count == index
+        )
+        return Matrix(f"{self.name}[{index}/{count}]", picked)

@@ -1,0 +1,188 @@
+"""Named scenario matrices — one preset per paper figure or sweep.
+
+Presets are factories so that a campaign never shares mutable state with
+another; ``build_preset(name)`` returns a fresh :class:`~.matrix.Matrix`.
+``python -m repro.campaign list-presets`` prints this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .matrix import Matrix, Scenario
+
+__all__ = ["PRESETS", "build_preset", "preset_names"]
+
+#: All seven scheduler policies, in a fixed comparison order.
+ALL_SCHEDULERS: Tuple[str, ...] = (
+    "fifo",
+    "lifo",
+    "breadth_first",
+    "bottom_level",
+    "work_stealing",
+    "cats",
+    "static",
+)
+
+#: The five synthetic DAG families of repro.apps.dag_workloads.
+DAG_FAMILIES: Tuple[str, ...] = (
+    "layered",
+    "cholesky",
+    "lu",
+    "fork_join",
+    "pipeline",
+)
+
+
+def _smoke() -> Matrix:
+    """Tiny CI matrix: every scheduler × three DAG families, scale 1."""
+    return Matrix.product(
+        "smoke",
+        families=("layered", "cholesky", "fork_join"),
+        schedulers=ALL_SCHEDULERS,
+        core_counts=(8,),
+        scales=(1,),
+        seeds=(1,),
+    )
+
+
+def _scheduler_matrix() -> Matrix:
+    """The full comparison the ROADMAP asks for: seven schedulers meet
+    five DAG families, at two graph scales, on a 16-core machine."""
+    return Matrix.product(
+        "scheduler_matrix",
+        families=DAG_FAMILIES,
+        schedulers=ALL_SCHEDULERS,
+        core_counts=(16,),
+        scales=(1, 2),
+        seeds=(1,),
+    )
+
+
+def _rsu_comparison() -> Matrix:
+    """RSU criticality boosting on the DAG families: static frequency vs
+    oracle-marked vs online-heuristic criticality, CATS scheduling."""
+    return Matrix.product(
+        "rsu_comparison",
+        families=DAG_FAMILIES,
+        schedulers=("cats",),
+        rsu_modes=("off", "oracle", "heuristic"),
+        core_counts=(16,),
+        scales=(1,),
+        seeds=(1,),
+    )
+
+
+def _fig2_rsu() -> Matrix:
+    """Section 3.1 headline: static scheduling vs criticality-aware DVFS
+    on the chain+fillers workload, 32 cores."""
+    return Matrix(
+        "fig2_rsu",
+        (
+            Scenario("chain", scheduler="fifo", rsu="off", n_cores=32),
+            Scenario("chain", scheduler="cats", rsu="annotated", n_cores=32),
+        ),
+    )
+
+
+def _fig2_overhead(
+    core_counts: Sequence[int] = (4, 8, 16, 32, 64)
+) -> Matrix:
+    """Figure 2 motivation: software-DVFS vs RSU reconfiguration stalls
+    as the core count grows (12 fillers per core, short tasks)."""
+    params = (
+        ("chain_len", 4),
+        ("fillers_per_core", 12),
+        ("filler_cycles", 2e8),
+    )
+    scenarios: List[Scenario] = []
+    for mode in ("annotated-software", "annotated"):
+        for n in core_counts:
+            scenarios.append(
+                Scenario(
+                    "chain",
+                    scheduler="cats",
+                    rsu=mode,
+                    n_cores=n,
+                    params=params,
+                )
+            )
+    return Matrix("fig2_overhead", tuple(scenarios))
+
+
+def _fig5_parsec() -> Matrix:
+    """Figure 5: OmpSs vs Pthreads scalability for bodytrack/facesim."""
+    scenarios: List[Scenario] = []
+    for app in ("bodytrack", "facesim"):
+        for variant in ("pthreads", "ompss"):
+            for n in (1, 2, 4, 8, 12, 16):
+                scenarios.append(
+                    Scenario(
+                        f"parsec:{app}:{variant}",
+                        scheduler="work_stealing",
+                        n_cores=n,
+                    )
+                )
+    return Matrix("fig5_parsec", tuple(scenarios))
+
+
+def _throughput(scales: Sequence[int] = (1, 2, 4)) -> Matrix:
+    """Kernel-throughput trajectory: tasks/s per family vs graph scale
+    (the ROADMAP's --scale axis; host timing lives in the records'
+    ``timing`` block)."""
+    return Matrix.product(
+        "throughput",
+        families=DAG_FAMILIES,
+        schedulers=("fifo",),
+        core_counts=(16,),
+        scales=tuple(scales),
+        seeds=(1,),
+    )
+
+
+#: name -> (description, factory)
+PRESETS: Dict[str, Tuple[str, Callable[[], Matrix]]] = {
+    "smoke": (
+        "CI smoke: 7 schedulers x 3 DAG families, 8 cores, scale 1",
+        _smoke,
+    ),
+    "scheduler_matrix": (
+        "7 schedulers x 5 DAG families x scales (1,2), 16 cores",
+        _scheduler_matrix,
+    ),
+    "rsu_comparison": (
+        "RSU off/oracle/heuristic x 5 DAG families, CATS, 16 cores",
+        _rsu_comparison,
+    ),
+    "fig2_rsu": (
+        "Sec 3.1: static vs criticality-aware DVFS, 32 cores",
+        _fig2_rsu,
+    ),
+    "fig2_overhead": (
+        "Fig 2 motivation: software vs RSU DVFS stalls, 4..64 cores",
+        _fig2_overhead,
+    ),
+    "fig5_parsec": (
+        "Fig 5: PARSEC pthreads vs OmpSs speedup, 1..16 threads",
+        _fig5_parsec,
+    ),
+    "throughput": (
+        "tasks/s per DAG family vs scale (1,2,4), FIFO, 16 cores",
+        _throughput,
+    ),
+}
+
+
+def preset_names() -> List[str]:
+    return list(PRESETS)
+
+
+def build_preset(name: str, **kwargs) -> Matrix:
+    """Instantiate a preset matrix by name (kwargs go to the factory)."""
+    try:
+        _, factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {preset_names()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,393 @@
+"""Campaign execution: one scenario → one record, many scenarios → a sweep.
+
+The runner has two halves:
+
+* :func:`run_scenario` — a pure function from a :class:`~.matrix.Scenario`
+  to a result record.  It builds the machine, scheduler, criticality
+  policy and RSU the scenario names, submits the workload, runs the
+  simulation and dumps metrics + the full StatSet.  Failures of any kind
+  are captured as ``status: "error"`` records — one broken scenario never
+  kills a campaign (crash isolation).
+* :func:`run_campaign` — executes a :class:`~.matrix.Matrix`, either
+  serially in-process (``workers<=1``, the debugging path: exceptions in
+  the harness itself surface normally, records appear in matrix order) or
+  on a ``multiprocessing`` pool.  With a :class:`~.store.ResultStore`
+  attached, scenarios whose records already exist are skipped (resume),
+  and every fresh record is appended as soon as it arrives, so a killed
+  campaign loses at most the in-flight scenarios.
+
+Determinism: a scenario's record depends only on the scenario axes and
+the code revision — never on worker count, shard layout, or sibling
+scenarios.  Workloads are built inside the executing process from the
+scenario's own seed; nothing simulated crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..apps.dag_workloads import WORKLOADS, make_workload
+from ..apps.kernels import critical_chain_with_fillers
+from ..apps.parsec import PARSEC_APPS, build_ompss, build_pthreads
+from ..apps.rsu_experiment import make_section31_machine
+from ..core.criticality import (
+    AnnotatedCriticality,
+    BottomLevelHeuristic,
+    CriticalPathOracle,
+)
+from ..core.runtime import Runtime
+from ..core.schedulers import (
+    BottomLevelScheduler,
+    BreadthFirstScheduler,
+    CriticalityAwareScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+)
+from ..sim.dvfs import RsuDvfsController, SoftwareDvfsController
+from ..sim.machine import Machine
+from ..sim.rsu import RsuPolicy, RuntimeSupportUnit
+from .matrix import Matrix, Scenario
+from .store import SCHEMA_VERSION, ResultStore
+
+__all__ = [
+    "SCHEDULERS",
+    "RSU_MODES",
+    "run_scenario",
+    "run_campaign",
+    "RunSummary",
+]
+
+
+# ----------------------------------------------------------------------
+# axis registries
+# ----------------------------------------------------------------------
+#: The seven ready-queue policies, by campaign axis name.
+SCHEDULERS: Dict[str, Callable[[int], object]] = {
+    "fifo": lambda n: FifoScheduler(),
+    "lifo": lambda n: LifoScheduler(),
+    "breadth_first": lambda n: BreadthFirstScheduler(),
+    "bottom_level": lambda n: BottomLevelScheduler(),
+    "work_stealing": lambda n: WorkStealingScheduler(n),
+    "cats": lambda n: CriticalityAwareScheduler(),
+    "static": lambda n: StaticScheduler(n),
+}
+
+#: RSU/criticality modes: criticality policy factory + DVFS mechanism.
+RSU_MODES: Dict[str, Tuple[Callable[[], object], type]] = {
+    "annotated": (lambda: AnnotatedCriticality({"critical": True}), RsuDvfsController),
+    "annotated-software": (
+        lambda: AnnotatedCriticality({"critical": True}),
+        SoftwareDvfsController,
+    ),
+    "oracle": (lambda: CriticalPathOracle(), RsuDvfsController),
+    "heuristic": (lambda: BottomLevelHeuristic(), RsuDvfsController),
+}
+
+class _TaskCollector:
+    """Duck-typed Runtime stand-in for the PARSEC graph builders."""
+
+    def __init__(self) -> None:
+        self.tasks: List = []
+
+    def submit(self, task):
+        self.tasks.append(task)
+        return task
+
+
+def _build_workload(scenario: Scenario) -> List:
+    """Materialise the scenario's task list from its family + knobs."""
+    family = scenario.family
+    if family in WORKLOADS:
+        return make_workload(family, scale=scenario.scale, seed=scenario.seed)
+    if family == "chain":
+        fillers_per_core = scenario.param("fillers_per_core")
+        n_fillers = (
+            int(fillers_per_core) * scenario.n_cores
+            if fillers_per_core is not None
+            else int(scenario.param("n_fillers", 620)) * scenario.scale
+        )
+        return critical_chain_with_fillers(
+            chain_len=int(scenario.param("chain_len", 8)),
+            n_fillers=n_fillers,
+            chain_cycles=float(scenario.param("chain_cycles", 4e9)),
+            filler_cycles=float(scenario.param("filler_cycles", 1e9)),
+            jitter=float(scenario.param("jitter", 0.3)),
+            seed=scenario.seed,
+        )
+    if family.startswith("parsec:"):
+        try:
+            _, app, variant = family.split(":")
+        except ValueError:
+            raise ValueError(
+                f"parsec family must be 'parsec:<app>:<variant>', got {family!r}"
+            ) from None
+        model = PARSEC_APPS[app]
+        collector = _TaskCollector()
+        if variant == "pthreads":
+            build_pthreads(collector, model, scenario.n_cores)
+        elif variant == "ompss":
+            build_ompss(collector, model, scenario.n_cores)
+        else:
+            raise ValueError(f"unknown PARSEC variant {variant!r}")
+        return collector.tasks
+    raise ValueError(
+        f"unknown workload family {scenario.family!r}; choose a DAG family "
+        f"{sorted(WORKLOADS)}, 'chain', or 'parsec:<app>:<variant>'"
+    )
+
+
+def _build_machine(scenario: Scenario) -> Machine:
+    """The simulated chip for this scenario.
+
+    RSU-enabled scenarios reuse the Section 3.1 machine builder verbatim
+    (narrow-voltage table + ``budget_factor`` × cores × nominal busy
+    power budget) so campaign records reproduce the figure numbers bit
+    for bit; PARSEC scenarios use the stock machine of the Figure 5
+    harness; plain DAG scenarios pin the nominal mid level like the
+    throughput bench.
+    """
+    n = scenario.n_cores
+    if scenario.rsu != "off":
+        return make_section31_machine(
+            n, float(scenario.param("budget_factor", 1.0))
+        )
+    if scenario.family == "chain":
+        # Static baseline of the fig2 comparison: same table, no budget.
+        return make_section31_machine(n, None)
+    if scenario.family.startswith("parsec:"):
+        return Machine(n)
+    return Machine(n, initial_level=2)
+
+
+def _build_runtime(scenario: Scenario, machine: Machine) -> Runtime:
+    try:
+        scheduler = SCHEDULERS[scenario.scheduler](scenario.n_cores)
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {scenario.scheduler!r}; "
+            f"choose from {sorted(SCHEDULERS)}"
+        ) from None
+    criticality = None
+    rsu = None
+    if scenario.rsu != "off":
+        try:
+            policy_factory, controller_cls = RSU_MODES[scenario.rsu]
+        except KeyError:
+            raise ValueError(
+                f"unknown rsu mode {scenario.rsu!r}; "
+                f"choose 'off' or one of {sorted(RSU_MODES)}"
+            ) from None
+        criticality = policy_factory()
+        rsu = RuntimeSupportUnit(
+            machine,
+            controller_cls(machine),
+            RsuPolicy(
+                efficient_level=int(scenario.param("efficient_level", 1)),
+                respect_budget=bool(scenario.param("respect_budget", True)),
+            ),
+        )
+    return Runtime(
+        machine,
+        scheduler=scheduler,
+        criticality=criticality,
+        rsu=rsu,
+        record_trace=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# single-scenario execution
+# ----------------------------------------------------------------------
+_git_rev_cache: Optional[str] = None
+
+
+def _git_rev() -> str:
+    global _git_rev_cache
+    if _git_rev_cache is None:
+        try:
+            _git_rev_cache = (
+                subprocess.run(
+                    ["git", "rev-parse", "--short", "HEAD"],
+                    cwd=os.path.dirname(os.path.abspath(__file__)),
+                    capture_output=True,
+                    text=True,
+                    timeout=5,
+                ).stdout.strip()
+                or "unknown"
+            )
+        except Exception:
+            _git_rev_cache = "unknown"
+    return _git_rev_cache
+
+
+def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
+    """Execute one scenario and return its result record (never raises)."""
+    record = {
+        "id": scenario.scenario_id,
+        "scenario": scenario.axes(),
+        "status": "ok",
+        "metrics": None,
+        "stats": None,
+        "error": None,
+        "meta": {
+            "schema": SCHEMA_VERSION,
+            "campaign": campaign,
+            "git_rev": _git_rev(),
+        },
+        "timing": None,
+    }
+    t0 = time.perf_counter()
+    sim_s = 0.0
+    try:
+        tasks = _build_workload(scenario)
+        machine = _build_machine(scenario)
+        rt = _build_runtime(scenario, machine)
+        # Simulation wall time starts at submission, matching the
+        # throughput bench's direct path: graph *generation* cost must
+        # not pollute the tracked tasks/s trajectory (the ROADMAP notes
+        # TDG construction dominates at large scales).
+        t_sim = time.perf_counter()
+        rt.submit_all(tasks)
+        if scenario.scheduler == "bottom_level" and rt.criticality is None:
+            # HLF needs bottom levels even without a criticality policy.
+            rt.graph.compute_bottom_levels()
+        result = rt.run()
+        sim_s = time.perf_counter() - t_sim
+        record["metrics"] = {
+            "makespan": result.makespan,
+            "energy_j": result.energy_j,
+            "edp": result.edp,
+            "n_tasks": result.n_tasks,
+        }
+        record["stats"] = result.stats.as_dict()
+    except Exception as exc:  # crash isolation: error rows, not crashes
+        record["status"] = "error"
+        record["error"] = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }
+        record["metrics"] = None
+        record["stats"] = None
+    wall = time.perf_counter() - t0
+    n_tasks = (record["metrics"] or {}).get("n_tasks", 0)
+    record["timing"] = {
+        "wall_s": wall,
+        "build_s": wall - sim_s,
+        "sim_s": sim_s,
+        "tasks_per_sec": (n_tasks / sim_s) if sim_s > 0 and n_tasks else 0.0,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "unix_ts": time.time(),
+    }
+    return record
+
+
+def _pool_entry(payload: Tuple[Scenario, str]) -> dict:
+    scenario, campaign = payload
+    return run_scenario(scenario, campaign)
+
+
+# ----------------------------------------------------------------------
+# campaign execution
+# ----------------------------------------------------------------------
+@dataclass
+class RunSummary:
+    """What a campaign execution did."""
+
+    campaign: str
+    n_total: int
+    n_skipped: int
+    n_ok: int = 0
+    n_errors: int = 0
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def n_run(self) -> int:
+        return self.n_ok + self.n_errors
+
+    def describe(self) -> str:
+        return (
+            f"campaign {self.campaign!r}: {self.n_total} scenarios, "
+            f"{self.n_skipped} cached, {self.n_ok} ok, {self.n_errors} errors"
+        )
+
+
+def run_campaign(
+    matrix: Matrix,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    resume: bool = True,
+    retry_errors: bool = True,
+    shard: Tuple[int, int] = (0, 1),
+    progress: Optional[Callable[[dict], None]] = None,
+) -> RunSummary:
+    """Execute every scenario of ``matrix`` (or of one shard of it).
+
+    Parameters
+    ----------
+    store:
+        Optional result store.  With ``resume`` (the default), scenarios
+        whose ok-records already exist are skipped and their cached
+        records are returned in :attr:`RunSummary.records`; fresh records
+        are appended as they complete.  Cached *error* records are
+        re-executed by default (``retry_errors``) — a fixed bug plus a
+        rerun must converge to a clean store, not skip the broken rows.
+    workers:
+        ``<=1`` runs serially in-process (deterministic record order,
+        exceptions in the harness surface normally — the debugging path).
+        ``>1`` fans scenarios out over a process pool; completion order
+        is nondeterministic but record *content* is not.
+    shard:
+        ``(index, count)`` — run only this round-robin shard of the
+        matrix, for spreading one campaign across machines.  All shards
+        may share one store per machine and be merged by concatenation.
+    progress:
+        Optional callback invoked with each fresh record as it lands.
+    """
+    index, count = shard
+    # Always route through Matrix.shard so malformed specs ((0, 0),
+    # (3, 1), negatives) raise instead of silently running everything.
+    work = matrix.shard(index, count)
+    summary = RunSummary(campaign=matrix.name, n_total=len(work), n_skipped=0)
+
+    todo: List[Scenario] = []
+    for scenario in work:
+        cached = store.get(scenario.scenario_id) if (store and resume) else None
+        if cached is not None and (
+            cached["status"] == "ok" or not retry_errors
+        ):
+            summary.n_skipped += 1
+            summary.records.append(cached)
+        else:
+            todo.append(scenario)
+
+    def _absorb(record: dict) -> None:
+        if store is not None:
+            store.append(record)
+        summary.records.append(record)
+        if record["status"] == "ok":
+            summary.n_ok += 1
+        else:
+            summary.n_errors += 1
+        if progress is not None:
+            progress(record)
+
+    if workers <= 1 or len(todo) <= 1:
+        for scenario in todo:
+            _absorb(run_scenario(scenario, matrix.name))
+    else:
+        payloads = [(s, matrix.name) for s in todo]
+        with multiprocessing.Pool(processes=min(workers, len(todo))) as pool:
+            # Unordered: records land (and persist) as soon as a worker
+            # finishes; canonical comparisons sort by scenario id anyway.
+            for record in pool.imap_unordered(_pool_entry, payloads, chunksize=1):
+                _absorb(record)
+    return summary

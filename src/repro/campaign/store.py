@@ -1,0 +1,139 @@
+"""JSONL result store with resumable caching.
+
+One campaign run appends one JSON record per scenario to a ``.jsonl``
+file.  Records are keyed by the scenario's content hash, so reloading a
+half-written store and rerunning the campaign executes only the missing
+scenarios — crash recovery and incremental sweeps fall out for free.
+
+Record schema (``"schema": 1``)::
+
+    {
+      "id":       "<12-hex scenario content hash>",
+      "scenario": {family, scheduler, rsu, n_cores, scale, seed, params},
+      "status":   "ok" | "error",
+      "metrics":  {makespan, energy_j, edp, n_tasks},   # ok records only
+      "stats":    {<StatSet counter dump>},             # ok records only
+      "error":    {type, message} | null,
+      "meta":     {schema, campaign, git_rev},
+      "timing":   {wall_s, build_s, sim_s, tasks_per_sec, host, pid,
+                   unix_ts}    # tasks_per_sec is n_tasks / sim_s
+    }
+
+Everything outside ``timing`` is a deterministic function of the
+scenario (plus the code revision): two runs of the same matrix — whether
+serial, 4-way parallel, or resumed — produce bitwise-identical records
+once the ``timing`` block is dropped.  :func:`canonical_line` implements
+exactly that projection and is what the determinism tests and
+``repro.campaign compare`` operate on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["ResultStore", "canonical_line", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+#: Record keys excluded from determinism comparisons (host timing only).
+NONDETERMINISTIC_KEYS = ("timing",)
+
+
+def canonical_line(record: dict) -> str:
+    """Serialise a record deterministically, dropping host-timing fields."""
+    trimmed = {k: v for k, v in record.items() if k not in NONDETERMINISTIC_KEYS}
+    return json.dumps(trimmed, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only JSONL store of campaign records, keyed by scenario id.
+
+    The store tolerates a truncated trailing line (the signature of a
+    crashed writer): the partial line is skipped on load, and the next
+    append newline-terminates it so later records stay parseable.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._records: Dict[str, dict] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, dict]:
+        """Read every valid record; silently drop corrupt/partial lines."""
+        self._records = {}
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # truncated tail of a crashed run
+                    rec_id = record.get("id")
+                    if rec_id:
+                        self._records[rec_id] = record
+        self._loaded = True
+        return dict(self._records)
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._records)
+
+    def __contains__(self, scenario_id: str) -> bool:
+        self._ensure_loaded()
+        return scenario_id in self._records
+
+    def get(self, scenario_id: str) -> Optional[dict]:
+        self._ensure_loaded()
+        return self._records.get(scenario_id)
+
+    def ids(self) -> List[str]:
+        self._ensure_loaded()
+        return list(self._records)
+
+    def records(self) -> List[dict]:
+        self._ensure_loaded()
+        return list(self._records.values())
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Persist one record (single-writer: only the campaign parent)."""
+        self._ensure_loaded()
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "ab+") as fh:
+            # A crashed writer can leave a partial line with no trailing
+            # newline; terminate it first or the new record would be
+            # concatenated onto the fragment and lost as unparseable.
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write((json.dumps(record, sort_keys=True) + "\n").encode("utf-8"))
+        self._records[record["id"]] = record
+
+    def append_all(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    def canonical_lines(self) -> List[str]:
+        """Deterministic projection of the store: sorted canonical records.
+
+        Two stores produced by the same matrix at the same revision are
+        equal under this projection regardless of worker count, completion
+        order, or how many resume passes wrote them.
+        """
+        self._ensure_loaded()
+        return sorted(canonical_line(r) for r in self._records.values())

@@ -121,9 +121,15 @@ class TaskState(Enum):
 _task_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """A schedulable unit of work with declared data accesses.
+
+    ``slots=True``: the runtime touches task attributes (state, counters,
+    timestamps, successor lists) on every dispatch and completion, so
+    fixed slots instead of a per-instance ``__dict__`` shave the hot-path
+    attribute traffic the ROADMAP flags.  Ad-hoc attributes can no longer
+    be attached to tasks; extend the dataclass instead.
 
     Parameters
     ----------

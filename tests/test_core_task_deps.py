@@ -175,3 +175,32 @@ class TestDependenceTracker:
         tr.register(Task.make("wy", out=["y"]))
         r = Task.make("r", in_=["x", "y"])
         assert edges_of(tr, r) == {("wx", "r"), ("wy", "r")}
+
+
+class TestTaskSlots:
+    """Task is slotted: fixed attribute set, still picklable/hashable."""
+
+    def test_task_has_no_instance_dict(self):
+        t = Task.make("t", out=["x"])
+        assert not hasattr(t, "__dict__")
+        with pytest.raises(AttributeError):
+            t.ad_hoc_attribute = 1
+
+    def test_task_pickle_round_trip(self):
+        import pickle
+
+        t = Task.make("t", cpu_cycles=2e6, mem_seconds=1e-3,
+                      in_=["a"], out=["b"], priority=3)
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone.task_id == t.task_id
+        assert clone.label == "t"
+        assert clone.cpu_cycles == t.cpu_cycles
+        assert clone.deps == t.deps
+        assert clone == t and hash(clone) == hash(t)
+
+    def test_runtime_managed_fields_still_assignable(self):
+        t = Task.make("t")
+        t.critical = True
+        t.bottom_level = 4.2
+        t.succ_order = []
+        assert t.critical and t.bottom_level == 4.2

@@ -161,3 +161,22 @@ class TestSimulator:
             sim.schedule(1.0, log.append, i)
         sim.run()
         assert log == [0, 1, 2, 3, 4]
+
+
+class TestEventSlots:
+    """Event is slotted (hot-path memory/attr-traffic optimisation)."""
+
+    def test_event_has_no_instance_dict(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.ad_hoc_attribute = 1
+
+    def test_cancel_still_works_with_slots(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []

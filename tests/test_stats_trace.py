@@ -136,3 +136,36 @@ class TestTraceRecorder:
         tr.record(rec(0, 0, 0.0, 1.0))
         recs = tr.by_core()[0]
         assert [r.task_id for r in recs] == [0, 1]
+
+
+class TestStatSetFastPath:
+    """Plain-dict counter path and the bulk add_many/merge API."""
+
+    def test_add_many_from_mapping(self):
+        s = StatSet()
+        s.add("x", 1.0)
+        s.add_many({"x": 2.0, "y": 3.0})
+        assert s["x"] == 3.0 and s["y"] == 3.0
+
+    def test_add_many_from_pairs(self):
+        s = StatSet()
+        s.add_many([("a", 1.0), ("a", 2.0), ("b", 0.5)])
+        assert s["a"] == 3.0 and s["b"] == 0.5
+
+    def test_merge_matches_add_many(self):
+        a, b = StatSet(), StatSet()
+        b.add("k", 4.0)
+        b.add("j", 1.0)
+        a.merge(b)
+        c = StatSet()
+        c.add_many(b.as_dict())
+        assert a.as_dict() == c.as_dict()
+
+    def test_statset_is_slotted(self):
+        s = StatSet("x")
+        assert not hasattr(s, "__dict__")
+
+    def test_missing_key_still_defaults_to_zero(self):
+        s = StatSet()
+        assert s.get("nope") == 0.0
+        assert "nope" not in s  # get() must not materialise the key
