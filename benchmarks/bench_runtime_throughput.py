@@ -42,19 +42,24 @@ SEED = 1
 
 
 def run_family(name: str, scale: int = SCALE, seed: int = SEED):
-    """Simulate one workload family; returns (n_tasks, host_seconds, result).
+    """Simulate one workload family; returns
+    ``(n_tasks, host_seconds, tdg_seconds, result)``.
 
     The direct (non-campaign) path, kept for microbenchmark timing without
-    any harness overhead.
+    any harness overhead.  ``tdg_seconds`` is the host-side
+    TDG-construction slice (dependence registration + edge insertion) of
+    ``host_seconds`` — the ROADMAP's tracker perf target is measured on
+    it at ``--scale 8``.
     """
     tasks = make_workload(name, scale=scale, seed=seed)
     machine = Machine(N_CORES, initial_level=2)
     rt = Runtime(machine, scheduler=FifoScheduler(), record_trace=False)
     t0 = time.perf_counter()
     rt.submit_all(tasks)
+    tdg_s = time.perf_counter() - t0
     res = rt.run()
     host_s = time.perf_counter() - t0
-    return len(tasks), host_s, res
+    return len(tasks), host_s, tdg_s, res
 
 
 def run_sweep(scales: Sequence[int] = (SCALE,), workers: int = 1):
@@ -82,6 +87,7 @@ def report(scales: Sequence[int] = (SCALE,), workers: int = 1):
                 scen["scale"],
                 met["n_tasks"],
                 f"{tim['sim_s'] * 1e3:.1f} ms",
+                f"{tim.get('tdg_s', 0.0) * 1e3:.1f} ms",
                 f"{tim['tasks_per_sec']:,.0f} tasks/s",
                 f"{met['makespan']:.4g} s",
             ]
@@ -91,8 +97,8 @@ def report(scales: Sequence[int] = (SCALE,), workers: int = 1):
         f"Runtime throughput — {N_CORES} cores, "
         f"scales {tuple(scales)}, {len(FAMILIES)} workload families"
     )
-    table(["family", "scale", "tasks", "host time", "sim throughput",
-           "makespan"], rows)
+    table(["family", "scale", "tasks", "host time", "tdg build",
+           "sim throughput", "makespan"], rows)
     return summary
 
 

@@ -72,7 +72,7 @@ from .matrix import Matrix, Scenario
 from .presets import PRESETS, build_preset, preset_names
 from .report import CompareResult, compare_stores, render_table, summarize
 from .runner import RunSummary, run_campaign, run_scenario
-from .store import ResultStore, canonical_line
+from .store import MergeResult, ResultStore, canonical_line, merge_stores
 
 __all__ = [
     "Matrix",
@@ -87,6 +87,8 @@ __all__ = [
     "RunSummary",
     "run_campaign",
     "run_scenario",
+    "MergeResult",
     "ResultStore",
     "canonical_line",
+    "merge_stores",
 ]

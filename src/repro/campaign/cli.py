@@ -1,7 +1,8 @@
-"""``python -m repro.campaign`` — run/report/compare/list-presets.
+"""``python -m repro.campaign`` — run/report/compare/merge/list-presets.
 
-Exit codes: 0 on success; 1 when ``run`` produced error records or
-``compare`` found regressions/mismatches; 2 on usage errors (argparse).
+Exit codes: 0 on success; 1 when ``run`` produced error records,
+``compare`` found regressions/mismatches, or ``merge --strict`` found
+conflicting duplicate records; 2 on usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from typing import List, Optional
 from .presets import PRESETS, build_preset
 from .report import compare_stores, render_table, summarize
 from .runner import run_campaign
-from .store import ResultStore
+from .store import ResultStore, merge_stores
 
 __all__ = ["main"]
 
@@ -75,6 +76,22 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("candidate")
     compare.add_argument("--tolerance", type=float, default=0.01,
                          help="relative worsening tolerated (default 1%%)")
+
+    merge = sub.add_parser(
+        "merge",
+        help="concatenate shard stores into one, dedup by scenario hash",
+    )
+    merge.add_argument("inputs", nargs="+", metavar="STORE",
+                       help="shard stores, in priority order (first wins)")
+    merge.add_argument("--out", required=True,
+                       help="merged store to write (must not exist)")
+    merge.add_argument("--force", action="store_true",
+                       help="overwrite an existing --out store")
+    merge.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when duplicate ok-records disagree (code-revision "
+        "drift between shards)",
+    )
 
     sub.add_parser("list-presets", help="show the preset registry")
     return parser
@@ -151,6 +168,29 @@ def _cmd_compare(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_merge(args) -> int:
+    inputs = [_existing_store(path) for path in args.inputs]
+    if os.path.exists(args.out) and not args.force:
+        raise SystemExit(
+            f"error: merged store {args.out!r} already exists "
+            "(use --force to overwrite)"
+        )
+    # Load every input BEFORE touching --out: stores read lazily, and
+    # with --force the output may itself be one of the inputs (an
+    # in-place consolidation).  Writing to a sibling temp file and
+    # os.replace-ing makes the merge atomic — a crash mid-write never
+    # costs a shard its only on-disk copy.
+    for store in inputs:
+        store.load()
+    tmp = args.out + ".merging"
+    if os.path.exists(tmp):
+        os.remove(tmp)
+    result = merge_stores(inputs, ResultStore(tmp))
+    os.replace(tmp, args.out)
+    print(result.describe())
+    return 1 if (args.strict and result.conflicts) else 0
+
+
 def _cmd_list_presets() -> int:
     for name in sorted(PRESETS):
         description, factory = PRESETS[name]
@@ -166,6 +206,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
     return _cmd_list_presets()
 
 

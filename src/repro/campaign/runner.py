@@ -246,6 +246,7 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
     }
     t0 = time.perf_counter()
     sim_s = 0.0
+    tdg_s = 0.0
     try:
         tasks = _build_workload(scenario)
         machine = _build_machine(scenario)
@@ -253,9 +254,13 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
         # Simulation wall time starts at submission, matching the
         # throughput bench's direct path: graph *generation* cost must
         # not pollute the tracked tasks/s trajectory (the ROADMAP notes
-        # TDG construction dominates at large scales).
+        # TDG construction dominates at large scales).  ``tdg_s`` is the
+        # host-side TDG-construction slice of that window — dependence
+        # registration + edge insertion — tracked separately so tracker
+        # regressions are visible even when the event kernel dominates.
         t_sim = time.perf_counter()
         rt.submit_all(tasks)
+        tdg_s = time.perf_counter() - t_sim
         if scenario.scheduler == "bottom_level" and rt.criticality is None:
             # HLF needs bottom levels even without a criticality policy.
             rt.graph.compute_bottom_levels()
@@ -281,6 +286,7 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
     record["timing"] = {
         "wall_s": wall,
         "build_s": wall - sim_s,
+        "tdg_s": tdg_s,
         "sim_s": sim_s,
         "tasks_per_sec": (n_tasks / sim_s) if sim_s > 0 and n_tasks else 0.0,
         "host": socket.gethostname(),

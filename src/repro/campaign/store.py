@@ -15,8 +15,9 @@ Record schema (``"schema": 1``)::
       "stats":    {<StatSet counter dump>},             # ok records only
       "error":    {type, message} | null,
       "meta":     {schema, campaign, git_rev},
-      "timing":   {wall_s, build_s, sim_s, tasks_per_sec, host, pid,
-                   unix_ts}    # tasks_per_sec is n_tasks / sim_s
+      "timing":   {wall_s, build_s, tdg_s, sim_s, tasks_per_sec, host,
+                   pid, unix_ts}    # tasks_per_sec is n_tasks / sim_s;
+                                    # tdg_s is the submit_all slice of sim_s
     }
 
 Everything outside ``timing`` is a deterministic function of the
@@ -31,9 +32,16 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["ResultStore", "canonical_line", "SCHEMA_VERSION"]
+__all__ = [
+    "ResultStore",
+    "MergeResult",
+    "canonical_line",
+    "merge_stores",
+    "SCHEMA_VERSION",
+]
 
 SCHEMA_VERSION = 1
 
@@ -108,24 +116,35 @@ class ResultStore:
     # ------------------------------------------------------------------
     def append(self, record: dict) -> None:
         """Persist one record (single-writer: only the campaign parent)."""
+        self.append_all([record])
+
+    def append_all(self, records: Iterable[dict]) -> None:
+        """Persist a batch of records in one file open (the merge path:
+        per-record open/seek/close would pay one syscall round-trip per
+        record for crash durability a one-shot batch does not need)."""
+        records = list(records)
+        if not records:
+            return
         self._ensure_loaded()
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         with open(self.path, "ab+") as fh:
             # A crashed writer can leave a partial line with no trailing
-            # newline; terminate it first or the new record would be
+            # newline; terminate it first or the next record would be
             # concatenated onto the fragment and lost as unparseable.
             fh.seek(0, os.SEEK_END)
             if fh.tell() > 0:
                 fh.seek(-1, os.SEEK_END)
                 if fh.read(1) != b"\n":
                     fh.write(b"\n")
-            fh.write((json.dumps(record, sort_keys=True) + "\n").encode("utf-8"))
-        self._records[record["id"]] = record
-
-    def append_all(self, records: Iterable[dict]) -> None:
+            fh.write(
+                b"".join(
+                    (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+                    for record in records
+                )
+            )
         for record in records:
-            self.append(record)
+            self._records[record["id"]] = record
 
     # ------------------------------------------------------------------
     def canonical_lines(self) -> List[str]:
@@ -137,3 +156,76 @@ class ResultStore:
         """
         self._ensure_loaded()
         return sorted(canonical_line(r) for r in self._records.values())
+
+
+@dataclass
+class MergeResult:
+    """What :func:`merge_stores` did."""
+
+    n_inputs: int
+    n_read: int = 0
+    n_written: int = 0
+    n_duplicates: int = 0
+    n_errors_replaced: int = 0
+    #: Scenario ids whose duplicate ok-records disagreed under the
+    #: canonical projection — the signature of merging stores produced at
+    #: different code revisions.
+    conflicts: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        text = (
+            f"merged {self.n_inputs} stores: {self.n_read} records read, "
+            f"{self.n_written} written, {self.n_duplicates} duplicates "
+            f"dropped, {self.n_errors_replaced} error records replaced"
+        )
+        if self.conflicts:
+            text += (
+                f"; WARNING: {len(self.conflicts)} conflicting ids "
+                f"(first wins): {', '.join(sorted(self.conflicts)[:5])}"
+                + ("..." if len(self.conflicts) > 5 else "")
+            )
+        return text
+
+
+def merge_stores(inputs: Sequence[ResultStore], out: ResultStore) -> MergeResult:
+    """Concatenate shard stores into ``out``, deduplicating by scenario id.
+
+    The multi-host fan-out completion: every host runs
+    ``repro.campaign run --shard i/n --store host_i.jsonl``, the shard
+    stores are copied to one machine, and this merge produces the single
+    store ``report``/``compare`` operate on.  Records are keyed by the
+    scenario content hash, so shard layout does not matter and overlapping
+    (re-)runs collapse.
+
+    Dedup policy: the first occurrence of an id wins (inputs are processed
+    in argument order), except that an ok record always replaces an
+    earlier *error* record — a scenario that crashed on one host and
+    succeeded on another must converge to the success.  Duplicate ok
+    records whose canonical projections differ are reported as conflicts:
+    content is a deterministic function of (scenario, code revision), so a
+    mismatch means the shards ran different code.
+    """
+    result = MergeResult(n_inputs=len(inputs))
+    merged: Dict[str, dict] = {}
+    for store in inputs:
+        for record in store.records():
+            result.n_read += 1
+            rec_id = record["id"]
+            kept = merged.get(rec_id)
+            if kept is None:
+                merged[rec_id] = record
+                continue
+            result.n_duplicates += 1
+            if kept["status"] == "error" and record["status"] == "ok":
+                merged[rec_id] = record
+                result.n_errors_replaced += 1
+            elif (
+                kept["status"] == "ok"
+                and record["status"] == "ok"
+                and rec_id not in result.conflicts
+                and canonical_line(kept) != canonical_line(record)
+            ):
+                result.conflicts.append(rec_id)
+    out.append_all(merged.values())
+    result.n_written = len(merged)
+    return result

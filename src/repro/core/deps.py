@@ -5,88 +5,169 @@ renaming/scoreboard: as tasks are submitted, their declared accesses are
 matched against earlier tasks' accesses to derive true (RAW), anti (WAR) and
 output (WAW) dependences, yielding the Task Dependency Graph edges.
 
-The tracker keeps, per live region, the access history needed to compute
-edges in O(overlapping regions): the current writer group, the readers since
-that writer, and any open CONCURRENT group.  Finished tasks are pruned so the
-structures stay proportional to the live window, as in Nanos++.
+Semantics
+---------
+The tracker keeps one access history per *exact region instance* (same name,
+start and stop).  An incoming access is matched against every history whose
+region overlaps it, and a write is additionally recorded into every
+overlapping history so later accesses of *those* regions observe it — each
+seen region acts as a conservative witness that smears a writer across its
+full extent.  This is deliberately an over-approximation (it can only add
+edges, never drop one), and it is pinned bit-for-bit by the equivalence
+tests: any replacement structure must reproduce exactly these edges, or
+makespans shift.
+
+Interval index
+--------------
+Histories are kept per name in two tiers:
+
+* **bounded** regions live in parallel ``(starts, stops, hists)`` arrays
+  sorted by start.  An insertion scan bisects to the candidate window
+  ``(start - max_len, stop)`` — ``max_len`` being the longest *bounded*
+  region under that name — and filters by ``stop > q.start`` with plain
+  int compares: O(log n + k) in the k overlapping accesses.
+* **long** regions (length ≥ :data:`_LONG_LEN`, notably the whole-object
+  sentinel ``Region("x")`` whose extent is 2**62) live in a short side list
+  scanned directly.  Keeping them out of the bounded tier is what makes the
+  index robust: a single whole-object access used to poison ``max_len`` and
+  degrade every later scan under that name to O(history).
+
+The index is only consulted when a *new* region instance appears.  Each
+history caches its overlap set (``h.overlaps``, kept symmetric as regions
+are inserted), so the common case — another access to an already-seen
+region — is a dict hit plus an O(k) walk of exactly the overlapping
+histories, with no scan at all.  The cache stores one entry per
+overlapping *pair*, the same k·n total the queries already pay in time.
+
+Compaction keeps the member sets tight: an exact write *replaces* the
+region's writer set (last-writer compaction — earlier readers, writers and
+concurrents are fully ordered before it and can be forgotten), and writer
+propagation into overlapping histories deduplicates by task id, so a
+multi-access writer is recorded once per region, not once per access.
+Members are stored as insertion-ordered ``{task_id: Task}`` dicts: the hot
+loops then move data with C-level ``dict.update`` on int keys instead of
+hashing ``Task`` objects through their Python-level ``__hash__``.  Finished
+tasks can additionally be dropped via :meth:`prune_finished`, as in
+Nanos++.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Set, Tuple
 
-from .task import DepKind, Dependence, Region, Task
+from .task import DepKind, Task
 
 __all__ = ["DependenceTracker"]
 
+#: Regions at least this long are indexed in the per-name ``longs`` side
+#: list instead of the bounded tier, so that one huge extent (e.g. the
+#: whole-object sentinel) cannot widen the bounded tier's scan window.
+_LONG_LEN = 1 << 30
 
-@dataclass
+_IN = DepKind.IN
+_CONCURRENT = DepKind.CONCURRENT
+
+
 class _RegionHistory:
     """Access history for one exact region instance.
 
-    Regions that overlap but are not identical each get their own history;
-    edge computation scans all histories whose region overlaps the incoming
-    access (names partition the space, so the scan is per-name).
+    ``writers`` holds every write not yet superseded by an exact write to
+    this region (the first entry is the last exact writer, if any; the rest
+    were propagated from overlapping writes).  ``readers``/``concurrents``
+    hold the exact accesses of those kinds since the last exact write.
+    All three are insertion-ordered ``{task_id: Task}`` dicts.
+
+    ``overlaps`` is the cached list of histories whose region overlaps this
+    one — *including itself* — maintained symmetrically as new regions are
+    indexed.
     """
 
-    region: Region
-    writers: List[Task] = field(default_factory=list)
-    readers: List[Task] = field(default_factory=list)
-    concurrents: List[Task] = field(default_factory=list)
-    last_commutative: Task | None = None
+    __slots__ = ("start", "stop", "writers", "readers", "concurrents", "overlaps")
+
+    def __init__(self, start: int, stop: int) -> None:
+        self.start = start
+        self.stop = stop
+        self.writers: Dict[int, Task] = {}
+        self.readers: Dict[int, Task] = {}
+        self.concurrents: Dict[int, Task] = {}
+        self.overlaps: List[_RegionHistory] = []
+
+
+class _NameIndex:
+    """The two-tier interval index of one region name."""
+
+    __slots__ = ("starts", "stops", "hists", "max_len", "longs", "exact")
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.stops: List[int] = []
+        self.hists: List[_RegionHistory] = []
+        self.max_len = 0
+        self.longs: List[_RegionHistory] = []
+        self.exact: Dict[Tuple[int, int], _RegionHistory] = {}
 
 
 class DependenceTracker:
     """Derives TDG edges from declared per-task data accesses.
 
-    Histories are indexed per name and kept sorted by region start; the
-    overlap scan only visits candidates whose start lies within
-    ``(region.start - max_region_len, region.stop)``, which makes the
-    common disjoint-block pattern O(log n + matches) instead of O(n)
-    per access — the same trick Nanos++'s region trees play.
+    The hot entry point is :meth:`register_preds`, which returns the
+    predecessor tasks directly (what the runtime consumes); :meth:`register`
+    wraps them into ``(pred, succ)`` pairs for the original API.
+    Instrumented counters (``scan_probes``, ``scan_matches``) expose how
+    much index work registrations did, which the scale-regression tests
+    pin to stay linear in the task count.
     """
 
     def __init__(self) -> None:
-        # name -> (starts list, histories list sorted by start, max length)
-        self._by_name: Dict[str, list] = {}
-        self._exact: Dict[Tuple[str, int, int], _RegionHistory] = {}
+        self._by_name: Dict[str, _NameIndex] = {}
         self.edges_added = 0
+        #: Candidate histories examined by insertion scans so far
+        #: (including window false positives) — index efficiency metric.
+        self.scan_probes = 0
+        #: History entries consulted by queries (the access's own history
+        #: plus every overlapping one) — the irreducible per-access k.
+        self.scan_matches = 0
+        #: Matches of the most recent register call (consumed by the
+        #: runtime's submission-cost model).
+        self.last_matches = 0
 
     # ------------------------------------------------------------------
-    def _entry(self, name: str):
-        e = self._by_name.get(name)
-        if e is None:
-            e = [[], [], 0]  # starts, histories, max_len
-            self._by_name[name] = e
-        return e
-
-    def _histories_overlapping(self, region: Region) -> List[_RegionHistory]:
-        entry = self._by_name.get(region.name)
-        if entry is None:
-            return []
-        starts, hists, max_len = entry
-        lo = bisect.bisect_left(starts, region.start - max_len)
-        hi = bisect.bisect_right(starts, region.stop - 1)
-        return [
-            h for h in hists[lo:hi] if h.region.overlaps(region)
-        ]
-
-    def _history_exact(self, region: Region) -> _RegionHistory:
-        key = (region.name, region.start, region.stop)
-        h = self._exact.get(key)
-        if h is not None:
-            return h
-        h = _RegionHistory(region)
-        self._exact[key] = h
-        starts, hists, max_len = self._entry(region.name)
-        i = bisect.bisect_left(starts, region.start)
-        starts.insert(i, region.start)
-        hists.insert(i, h)
-        self._by_name[region.name][2] = max(
-            max_len, region.stop - region.start
-        )
+    def _insert_history(
+        self, entry: _NameIndex, qstart: int, qstop: int
+    ) -> _RegionHistory:
+        """Index a new exact region: scan once, then cache the overlap set
+        on the new history and symmetrically on everything it overlaps."""
+        h = _RegionHistory(qstart, qstop)
+        entry.exact[(qstart, qstop)] = h
+        found: List[_RegionHistory] = []
+        starts = entry.starts
+        lo = bisect_left(starts, qstart - entry.max_len)
+        hi = bisect_right(starts, qstop - 1, lo)
+        self.scan_probes += (hi - lo) + len(entry.longs)
+        if lo != hi:
+            stops = entry.stops
+            hists = entry.hists
+            for i in range(lo, hi):
+                if stops[i] > qstart:
+                    found.append(hists[i])
+        for other in entry.longs:
+            if other.start < qstop and other.stop > qstart:
+                found.append(other)
+        for other in found:
+            other.overlaps.append(h)
+        found.append(h)
+        h.overlaps = found
+        length = qstop - qstart
+        if length >= _LONG_LEN:
+            entry.longs.append(h)
+        else:
+            i = bisect_left(starts, qstart)
+            starts.insert(i, qstart)
+            entry.stops.insert(i, qstop)
+            entry.hists.insert(i, h)
+            if length > entry.max_len:
+                entry.max_len = length
         return h
 
     # ------------------------------------------------------------------
@@ -97,81 +178,74 @@ class DependenceTracker:
         ``successor is task``; self-edges (a task touching the same region
         twice) are suppressed.
         """
-        edges: Set[Tuple[Task, Task]] = set()
+        return {(pred, task) for pred in self.register_preds(task)}
+
+    def register_preds(self, task: Task):
+        """Register ``task``'s accesses; return its predecessors.
+
+        The runtime's fast path: the successor of every edge is ``task``
+        itself, so this returns the bare predecessor tasks (a dict-values
+        view, deduplicated, self excluded) instead of building one tuple
+        per edge on the submission hot path.
+        """
+        preds: Dict[int, Task] = {}
+        matches = 0
+        by_name = self._by_name
+        tid = task.task_id
         for dep in task.deps:
-            edges |= self._register_one(task, dep)
-        self.edges_added += len(edges)
-        return edges
+            region = dep.region
+            kind = dep.kind
+            qstart = region.start
+            qstop = region.stop
+            entry = by_name.get(region.name)
+            if entry is None:
+                entry = by_name[region.name] = _NameIndex()
+            h = entry.exact.get((qstart, qstop))
+            if h is None:
+                h = self._insert_history(entry, qstart, qstop)
+            overlapping = h.overlaps
+            matches += len(overlapping)
 
-    def _register_one(self, task: Task, dep: Dependence) -> Set[Tuple[Task, Task]]:
-        region = dep.region
-        kind = dep.kind
-        edges: Set[Tuple[Task, Task]] = set()
-
-        overlapping = self._histories_overlapping(region)
-
-        def link(pred: Task) -> None:
-            if pred is not task and pred.state != "pruned":
-                edges.add((pred, task))
-
-        if kind is DepKind.IN:
-            # RAW against the current writer group and any open concurrent
-            # group (concurrent tasks count as writers to outsiders).
-            for h in overlapping:
-                for w in h.writers:
-                    link(w)
-                for c in h.concurrents:
-                    link(c)
-        elif kind in (DepKind.OUT, DepKind.INOUT):
-            # WAW vs writers, WAR vs readers, and ordering vs concurrents.
-            for h in overlapping:
-                for w in h.writers:
-                    link(w)
-                for r in h.readers:
-                    link(r)
-                for c in h.concurrents:
-                    link(c)
-        elif kind is DepKind.CONCURRENT:
-            # Ordered against writers and ordinary readers, but NOT against
-            # fellow members of the open concurrent group.
-            for h in overlapping:
-                for w in h.writers:
-                    link(w)
-                for r in h.readers:
-                    link(r)
-        elif kind is DepKind.COMMUTATIVE:
-            # Conservative chaining: behave as INOUT, which serialises the
-            # commutative group in submission order (a legal linearisation).
-            for h in overlapping:
-                for w in h.writers:
-                    link(w)
-                for r in h.readers:
-                    link(r)
-                for c in h.concurrents:
-                    link(c)
-        else:  # pragma: no cover - enum is closed
-            raise ValueError(f"unknown dependence kind {kind}")
-
-        # --- update the history on the exact region -----------------------
-        h = self._history_exact(region)
-        if kind is DepKind.IN:
-            h.readers.append(task)
-        elif kind in (DepKind.OUT, DepKind.INOUT, DepKind.COMMUTATIVE):
-            # New sole writer: previous readers/writers/concurrents are now
-            # fully ordered before it and can be forgotten for this region.
-            h.writers = [task]
-            h.readers = []
-            h.concurrents = []
-        elif kind is DepKind.CONCURRENT:
-            h.concurrents.append(task)
-        # Overlapping-but-different regions must also observe the new writer,
-        # otherwise a later reader of the overlap could miss the RAW edge.
-        if kind.writes:
-            for other in self._histories_overlapping(region):
-                if other is not h:
-                    if task not in other.writers:
-                        other.writers.append(task)
-        return edges
+            # --- edge computation (before this access is recorded) ----
+            if kind is _IN:
+                # RAW against writers and any open concurrent group
+                # (concurrent tasks count as writers to outsiders).
+                for o in overlapping:
+                    preds.update(o.writers)
+                    preds.update(o.concurrents)
+                h.readers[tid] = task
+            elif kind is _CONCURRENT:
+                # Ordered against writers and ordinary readers, but NOT
+                # against fellow members of the open concurrent group.
+                for o in overlapping:
+                    preds.update(o.writers)
+                    preds.update(o.readers)
+                h.concurrents[tid] = task
+            else:
+                # OUT/INOUT: WAW vs writers, WAR vs readers, ordering vs
+                # concurrents.  COMMUTATIVE chains conservatively the same
+                # way, serialising the group in submission order (a legal
+                # linearisation of the relaxed semantics).
+                for o in overlapping:
+                    preds.update(o.writers)
+                    preds.update(o.readers)
+                    preds.update(o.concurrents)
+                # New sole writer: previous readers/writers/concurrents
+                # are now fully ordered before it (last-writer
+                # compaction), and every overlapping region must observe
+                # the new writer, otherwise a later reader of the overlap
+                # could miss the RAW edge.
+                h.writers = {tid: task}
+                h.readers = {}
+                h.concurrents = {}
+                for o in overlapping:
+                    if o is not h:
+                        o.writers[tid] = task
+        preds.pop(tid, None)
+        self.scan_matches += matches
+        self.last_matches = matches
+        self.edges_added += len(preds)
+        return preds.values()
 
     # ------------------------------------------------------------------
     def prune_finished(self) -> int:
@@ -179,28 +253,32 @@ class DependenceTracker:
 
         A finished task only needs to stay in a history while it is still
         the *latest* access of its kind; once superseded it is unreachable.
-        We conservatively drop finished tasks from reader/concurrent lists
-        and writer lists longer than one entry.  Returns entries removed.
+        We conservatively drop finished tasks from reader/concurrent sets
+        and writer sets larger than one entry.  Returns entries removed.
         """
         removed = 0
-        for _starts, histories, _max_len in self._by_name.values():
-            for h in histories:
-                def alive(ts: List[Task], keep_last: bool) -> List[Task]:
-                    nonlocal removed
-                    out = []
-                    for i, t in enumerate(ts):
-                        is_last = i == len(ts) - 1
-                        if t.state.value == "finished" and not (keep_last and is_last):
-                            removed += 1
-                        else:
-                            out.append(t)
-                    return out
 
-                h.readers = alive(h.readers, keep_last=False)
-                h.concurrents = alive(h.concurrents, keep_last=False)
-                h.writers = alive(h.writers, keep_last=True)
+        def alive(members: Dict[int, Task], keep_last: bool) -> Dict[int, Task]:
+            nonlocal removed
+            out = {}
+            last = len(members) - 1
+            for i, (mid, t) in enumerate(members.items()):
+                if t.state.value == "finished" and not (keep_last and i == last):
+                    removed += 1
+                else:
+                    out[mid] = t
+            return out
+
+        for entry in self._by_name.values():
+            for tier in (entry.hists, entry.longs):
+                for h in tier:
+                    h.readers = alive(h.readers, keep_last=False)
+                    h.concurrents = alive(h.concurrents, keep_last=False)
+                    h.writers = alive(h.writers, keep_last=True)
         return removed
 
     @property
     def live_regions(self) -> int:
-        return sum(len(v[1]) for v in self._by_name.values())
+        return sum(
+            len(e.hists) + len(e.longs) for e in self._by_name.values()
+        )

@@ -63,6 +63,58 @@ class TaskGraph:
         self.n_edges += 1
         return True
 
+    def add_edges_to(self, preds: Iterable[Task], succ: Task) -> int:
+        """Bulk insert ``pred -> succ`` for every predecessor; returns the
+        number of edges that were new.
+
+        The submission hot path: ``preds`` must be duplicate-free and
+        already registered in this graph (both hold for the dependence
+        tracker's output), which lets the common case — a freshly
+        submitted ``succ`` with no edges yet — skip the per-edge
+        membership probes entirely.  Iteration order does not matter:
+        every update (depth max, counter increments) is order-insensitive,
+        so an unordered predecessor set yields deterministic state.
+        """
+        if succ.task_id not in self._task_ids:
+            raise ValueError("both endpoints must be in the graph")
+        if not hasattr(preds, "__len__"):
+            # The fresh-succ branch below iterates twice; materialise
+            # one-shot iterables (the tracker's dict-values view is sized
+            # and skips this).
+            preds = list(preds)
+        succ_preds = succ.predecessors
+        finished = TaskState.FINISHED
+        depth = succ.depth
+        unfinished = 0
+        if succ_preds:
+            # succ already has edges: probe membership per predecessor.
+            added = 0
+            for pred in preds:
+                if pred in succ_preds:
+                    continue
+                pred.successors.add(succ)
+                succ_preds.add(pred)
+                if pred.state is not finished:
+                    unfinished += 1
+                if pred.depth >= depth:
+                    depth = pred.depth + 1
+                added += 1
+        else:
+            # Freshly submitted succ: every pred is a new edge, and the
+            # predecessor set fills in one bulk update.
+            for pred in preds:
+                pred.successors.add(succ)
+                if pred.state is not finished:
+                    unfinished += 1
+                if pred.depth >= depth:
+                    depth = pred.depth + 1
+            succ_preds.update(preds)
+            added = len(preds)
+        succ.depth = depth
+        succ.unfinished_preds += unfinished
+        self.n_edges += added
+        return added
+
     def __len__(self) -> int:
         return len(self.tasks)
 

@@ -65,7 +65,7 @@ class DepKind(Enum):
 _WHOLE = (0, 1 << 62)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Region:
     """A named address range, the unit of dependence matching.
 
@@ -74,6 +74,10 @@ class Region:
     overlap.  ``Region("x")`` denotes the whole object ``x``;
     ``Region("x", 0, 64)`` its first 64 bytes (or elements — the unit is the
     caller's, only consistency matters).
+
+    ``slots=True``: the dependence tracker reads ``name``/``start``/``stop``
+    for every declared access of every submitted task, so fixed slots keep
+    those reads off the per-instance ``__dict__``.
     """
 
     name: str
@@ -103,7 +107,7 @@ class Region:
         raise TypeError(f"cannot interpret {spec!r} as a data region")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Dependence:
     """One declared access of a task: (kind, region)."""
 

@@ -31,6 +31,7 @@ from .rsu import RsuPolicy, RuntimeSupportUnit, TaskCriticality
 from .stats import StatSet, Timeline, WeightedMean, geometric_mean
 from .tdg_accel import (
     HardwareSubmission,
+    IndexedSoftwareSubmission,
     SoftwareSubmission,
     SubmissionModel,
     granularity_sweep,
@@ -60,6 +61,7 @@ __all__ = [
     "RuntimeSupportUnit",
     "TaskCriticality",
     "HardwareSubmission",
+    "IndexedSoftwareSubmission",
     "SoftwareSubmission",
     "SubmissionModel",
     "granularity_sweep",

@@ -121,10 +121,29 @@ class Simulator:
         self.now: float = 0.0
         self.queue = EventQueue()
         self.events_processed: int = 0
+        self._deferred: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def defer(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the current timestamp's events drain.
+
+        A deferred callback fires after every queued event whose time
+        equals ``now`` (including events those events push at ``now``),
+        and before the clock advances to the next timestamp.  This is the
+        batching primitive the task runtime's dispatcher uses: N
+        same-timestamp task completions coalesce into one deferred
+        dispatch with zero event-queue traffic, where scheduling a
+        zero-delay event per wake-up would pay one heap push+pop each.
+
+        Equivalent to ``schedule(0.0, callback)`` whenever nothing else
+        schedules zero-delay work at the same timestamp after the trampoline
+        (the only runtime source of such events — zero-duration task
+        completions — is itself created by the dispatch and therefore
+        ordered identically under both mechanisms).
+        """
+        self._deferred.append(callback)
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
@@ -143,7 +162,18 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Process one event.  Returns ``False`` when the queue is empty."""
+        """Process one event (or one deferred batch when the current
+        timestamp has drained).  Returns ``False`` when nothing is left."""
+        if self._deferred:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > self.now:
+                # The current timestamp has drained: flush the deferred
+                # batch before the clock may advance.
+                batch, self._deferred = self._deferred, []
+                self.events_processed += 1
+                for callback in batch:
+                    callback()
+                return True
         event = self.queue.pop()
         if event is None:
             return False
@@ -163,15 +193,19 @@ class Simulator:
         while True:
             if max_events is not None and processed >= max_events:
                 return
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                return
-            if until is not None and next_time > until:
-                # Advance to the horizon, but never rewind: an `until` in
-                # the past must leave the clock where it is.
-                if until > self.now:
-                    self.now = until
-                return
+            if not self._deferred:
+                # Deferred callbacks are due at the *current* timestamp,
+                # so they are never beyond the horizon; only queued events
+                # can be.
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    return
+                if until is not None and next_time > until:
+                    # Advance to the horizon, but never rewind: an `until`
+                    # in the past must leave the clock where it is.
+                    if until > self.now:
+                        self.now = until
+                    return
             self.step()
             processed += 1
 
@@ -180,3 +214,4 @@ class Simulator:
         self.queue = EventQueue()
         self.now = 0.0
         self.events_processed = 0
+        self._deferred = []

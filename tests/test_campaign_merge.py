@@ -1,0 +1,169 @@
+"""``repro.campaign merge`` — multi-host shard-store consolidation.
+
+The runner's ``--shard i/n`` axis spreads one matrix across hosts, each
+writing its own JSONL store; ``merge`` concatenates those stores into the
+single one that ``report``/``compare`` operate on.  These tests pin the
+core contract: merging the shard stores of a matrix reproduces the
+canonical projection of a single-host run, dedup is by scenario hash with
+ok-records winning over error-records, and revision drift between shards
+is surfaced as a conflict.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import Matrix, ResultStore, merge_stores, run_campaign
+from repro.campaign.cli import main
+from repro.campaign.store import canonical_line
+
+
+def small_matrix():
+    return Matrix.product(
+        "merge_test",
+        families=("layered", "fork_join"),
+        schedulers=("fifo", "lifo"),
+        core_counts=(4,),
+        scales=(1,),
+        seeds=(1,),
+    )
+
+
+def fake_record(rec_id, status="ok", makespan=1.0):
+    return {
+        "id": rec_id,
+        "scenario": {"family": "layered"},
+        "status": status,
+        "metrics": {"makespan": makespan} if status == "ok" else None,
+        "stats": {} if status == "ok" else None,
+        "error": None if status == "ok" else {"type": "X", "message": "boom"},
+        "meta": {"schema": 1, "campaign": "t", "git_rev": "deadbee"},
+        "timing": {"wall_s": 0.1},
+    }
+
+
+class TestMergeStores:
+    def test_shard_union_equals_single_host_run(self, tmp_path):
+        matrix = small_matrix()
+        full = ResultStore(str(tmp_path / "full.jsonl"))
+        run_campaign(matrix, store=full)
+        shards = []
+        for i in range(2):
+            shard = ResultStore(str(tmp_path / f"shard{i}.jsonl"))
+            run_campaign(matrix, store=shard, shard=(i, 2))
+            shards.append(shard)
+        merged = ResultStore(str(tmp_path / "merged.jsonl"))
+        result = merge_stores(shards, merged)
+        assert result.n_written == len(matrix)
+        assert result.n_duplicates == 0 and not result.conflicts
+        assert merged.canonical_lines() == full.canonical_lines()
+
+    def test_overlapping_inputs_dedup_by_id(self, tmp_path):
+        matrix = small_matrix()
+        full = ResultStore(str(tmp_path / "full.jsonl"))
+        run_campaign(matrix, store=full)
+        shard0 = ResultStore(str(tmp_path / "shard0.jsonl"))
+        run_campaign(matrix, store=shard0, shard=(0, 2))
+        merged = ResultStore(str(tmp_path / "merged.jsonl"))
+        result = merge_stores([full, shard0], merged)
+        assert result.n_duplicates == len(shard0)
+        assert not result.conflicts
+        assert merged.canonical_lines() == full.canonical_lines()
+
+    def test_ok_record_replaces_error_record(self, tmp_path):
+        crashed = ResultStore(str(tmp_path / "crashed.jsonl"))
+        crashed.append(fake_record("aaa", status="error"))
+        crashed.append(fake_record("bbb"))
+        healthy = ResultStore(str(tmp_path / "healthy.jsonl"))
+        healthy.append(fake_record("aaa", status="ok"))
+        merged = ResultStore(str(tmp_path / "merged.jsonl"))
+        result = merge_stores([crashed, healthy], merged)
+        assert result.n_errors_replaced == 1
+        assert merged.get("aaa")["status"] == "ok"
+        assert len(merged) == 2
+
+    def test_conflicting_ok_records_reported_first_wins(self, tmp_path):
+        a = ResultStore(str(tmp_path / "a.jsonl"))
+        a.append(fake_record("aaa", makespan=1.0))
+        b = ResultStore(str(tmp_path / "b.jsonl"))
+        b.append(fake_record("aaa", makespan=2.0))
+        c = ResultStore(str(tmp_path / "c.jsonl"))
+        c.append(fake_record("aaa", makespan=3.0))
+        merged = ResultStore(str(tmp_path / "merged.jsonl"))
+        result = merge_stores([a, b, c], merged)
+        # One conflicting scenario id, however many shards disagree.
+        assert result.conflicts == ["aaa"]
+        assert merged.get("aaa")["metrics"]["makespan"] == 1.0
+
+    def test_differing_timing_is_not_a_conflict(self, tmp_path):
+        rec1, rec2 = fake_record("aaa"), fake_record("aaa")
+        rec2["timing"] = {"wall_s": 99.0}
+        assert canonical_line(rec1) == canonical_line(rec2)
+        a = ResultStore(str(tmp_path / "a.jsonl"))
+        a.append(rec1)
+        b = ResultStore(str(tmp_path / "b.jsonl"))
+        b.append(rec2)
+        merged = ResultStore(str(tmp_path / "merged.jsonl"))
+        assert merge_stores([a, b], merged).conflicts == []
+
+
+class TestMergeCli:
+    def _shard_stores(self, tmp_path):
+        paths = []
+        for i in range(2):
+            path = str(tmp_path / f"shard{i}.jsonl")
+            run_campaign(small_matrix(), store=ResultStore(path), shard=(i, 2))
+            paths.append(path)
+        return paths
+
+    def test_cli_merge_roundtrip(self, tmp_path, capsys):
+        paths = self._shard_stores(tmp_path)
+        out = str(tmp_path / "merged.jsonl")
+        assert main(["merge", *paths, "--out", out]) == 0
+        assert "merged 2 stores" in capsys.readouterr().out
+        assert len(ResultStore(out)) == len(small_matrix())
+
+    def test_cli_refuses_existing_out_without_force(self, tmp_path):
+        paths = self._shard_stores(tmp_path)
+        out = str(tmp_path / "merged.jsonl")
+        assert main(["merge", *paths, "--out", out]) == 0
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["merge", *paths, "--out", out])
+        assert main(["merge", *paths, "--out", out, "--force"]) == 0
+        # --force rewrote, not appended: one line per scenario.
+        with open(out, encoding="utf-8") as fh:
+            assert len(fh.readlines()) == len(small_matrix())
+
+    def test_cli_missing_input_store_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["merge", str(tmp_path / "nope.jsonl"),
+                  "--out", str(tmp_path / "out.jsonl")])
+
+    def test_cli_strict_flags_conflicts(self, tmp_path):
+        a = ResultStore(str(tmp_path / "a.jsonl"))
+        a.append(fake_record("aaa", makespan=1.0))
+        b = ResultStore(str(tmp_path / "b.jsonl"))
+        b.append(fake_record("aaa", makespan=2.0))
+        out = str(tmp_path / "m.jsonl")
+        assert main(["merge", a.path, b.path, "--out", out, "--force"]) == 0
+        assert main(["merge", a.path, b.path, "--out", out,
+                     "--force", "--strict"]) == 1
+
+    def test_cli_force_in_place_merge_keeps_out_records(self, tmp_path):
+        # --force with --out also listed as an input is an in-place
+        # consolidation: the output's own records must survive (stores
+        # load lazily, so the inputs have to be read before --out is
+        # truncated).
+        a = ResultStore(str(tmp_path / "a.jsonl"))
+        a.append(fake_record("aaa"))
+        b = ResultStore(str(tmp_path / "b.jsonl"))
+        b.append(fake_record("bbb"))
+        assert main(["merge", a.path, b.path, "--out", a.path, "--force"]) == 0
+        merged = ResultStore(a.path)
+        assert sorted(merged.ids()) == ["aaa", "bbb"]
+
+    def test_merged_store_feeds_report_and_compare(self, tmp_path):
+        paths = self._shard_stores(tmp_path)
+        out = str(tmp_path / "merged.jsonl")
+        assert main(["merge", *paths, "--out", out]) == 0
+        assert main(["compare", out, out]) == 0

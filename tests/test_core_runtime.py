@@ -344,3 +344,21 @@ class TestCriticalityDvfs:
         res = rt.run()
         # 0.25 s stall + 3e9 cycles at boosted 3 GHz = 1.25 s
         assert res.makespan == pytest.approx(1.25)
+
+
+class TestSubmitAllFailureConsistency:
+    """A mid-loop submit_all failure must leave the same runtime state a
+    plain submit() loop would: everything before the bad task counted,
+    registered and (if a root) made ready."""
+
+    def test_duplicate_task_counts_prior_submissions(self):
+        machine = Machine(2, initial_level=2)
+        rt = Runtime(machine, record_trace=False)
+        t1 = Task.make("t1", cpu_cycles=1e6, out=["x"])
+        t2 = Task.make("t2", cpu_cycles=1e6, in_=["x"])
+        with pytest.raises(ValueError, match="already in graph"):
+            rt.submit_all([t1, t2, t1])
+        assert rt._unfinished == 2
+        assert rt.stats.get("tasks_submitted") == 2
+        res = rt.run()  # the two good tasks still execute to completion
+        assert res.n_tasks == 2 and rt._unfinished == 0

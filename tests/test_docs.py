@@ -1,0 +1,62 @@
+"""Documentation is part of tier-1: the README quickstart must execute and
+every intra-repo doc link must resolve (tools/check_docs.py is the same
+gate CI's ``docs`` job runs)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_exists_with_required_sections():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for required in (
+        "## Install",
+        "## Verify",
+        "## Quickstart",
+        "pytest -x -q",
+        "repro.campaign",
+    ):
+        assert required in text, f"README.md lost section/marker {required!r}"
+
+
+def test_quickstart_snippet_runs_verbatim(capsys):
+    checker = _load_checker()
+    assert checker.run_quickstart() == []
+    assert "makespan" in capsys.readouterr().out
+
+
+def test_all_intra_repo_doc_links_resolve():
+    checker = _load_checker()
+    assert checker.check_links() == []
+
+
+def test_docs_cover_every_cli_subcommand():
+    text = (REPO_ROOT / "docs" / "campaign.md").read_text(encoding="utf-8")
+    for sub in ("run", "report", "compare", "merge", "list-presets"):
+        assert f"## {sub}" in text, f"docs/campaign.md misses `{sub}`"
+
+
+def test_checker_cli_passes_end_to_end():
+    checker = _load_checker()
+    assert checker.main([]) == 0
+
+
+def test_checker_detects_broken_link(tmp_path, monkeypatch):
+    checker = _load_checker()
+    bad = tmp_path / "README.md"
+    bad.write_text("[missing](does/not/exist.md)", encoding="utf-8")
+    (tmp_path / "docs").mkdir()
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    errors = checker.check_links()
+    assert len(errors) == 1 and "does/not/exist.md" in errors[0]

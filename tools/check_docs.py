@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Documentation drift gate: executable quickstart + resolvable links.
+
+Two checks, both fatal on failure:
+
+* **Quickstart** — the first ``python`` code fence in ``README.md`` is
+  executed *verbatim* in a fresh namespace (with ``src/`` importable).
+  If the README's example stops working, the build stops too.
+* **Links** — every relative markdown link in the repo's ``*.md`` files
+  (root, ``docs/``) must resolve to an existing file or directory.
+  External (``http``/``mailto``/anchor-only) links are skipped; fragment
+  suffixes are stripped before resolution.
+
+Run locally or in CI::
+
+    PYTHONPATH=src python tools/check_docs.py
+    PYTHONPATH=src python tools/check_docs.py --quickstart-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose quickstart/links are part of the contract.
+#: PAPER.md / PAPERS.md / SNIPPETS.md / ISSUE.md are excluded on purpose:
+#: they are retrieved reference material whose links point at their
+#: source repositories, not at files this repo ships.
+DOC_GLOBS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs/*.md")
+
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+#: Inline links [text](target); images ![alt](target) share the suffix.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def extract_quickstart(readme: Path) -> str:
+    match = _FENCE_RE.search(readme.read_text(encoding="utf-8"))
+    if match is None:
+        raise SystemExit(f"error: no ```python fence found in {readme}")
+    return match.group(1)
+
+
+def run_quickstart() -> list[str]:
+    """Execute the README quickstart verbatim; returns error strings."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    snippet = extract_quickstart(REPO_ROOT / "README.md")
+    print("--- README quickstart " + "-" * 38)
+    print(snippet, end="")
+    print("--- output " + "-" * 49)
+    try:
+        exec(compile(snippet, "README.md#quickstart", "exec"), {})
+    except Exception as exc:  # noqa: BLE001 - any failure is doc drift
+        return [f"README.md quickstart failed: {type(exc).__name__}: {exc}"]
+    return []
+
+
+def check_links() -> list[str]:
+    errors: list[str] = []
+    n_checked = 0
+    for doc in doc_files():
+        for target in _LINK_RE.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            n_checked += 1
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    print(f"checked {n_checked} intra-repo links in {len(doc_files())} docs")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quickstart-only", action="store_true")
+    parser.add_argument("--links-only", action="store_true")
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    if not args.links_only:
+        errors += run_quickstart()
+    if not args.quickstart_only:
+        errors += check_links()
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if not errors:
+        print("docs ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
