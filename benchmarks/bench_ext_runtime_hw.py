@@ -45,15 +45,25 @@ def test_ext_hardware_tdg_construction(benchmark, sweep):
             [
                 n_tasks,
                 f"{sweep['software'][n_tasks]:.3f}",
+                f"{sweep['software-indexed'][n_tasks]:.3f}",
                 f"{sweep['hardware'][n_tasks]:.3f}",
             ]
         )
-    table(["tasks", "software runtime", "hardware task unit"], rows)
+    table(
+        ["tasks", "software runtime", "indexed software", "hardware task unit"],
+        rows,
+    )
 
-    sw, hw = sweep["software"], sweep["hardware"]
-    assert sw[64] > 0.9 and hw[64] > 0.9
+    sw, ix, hw = sweep["software"], sweep["software-indexed"], sweep["hardware"]
+    assert sw[64] > 0.9 and ix[64] > 0.9 and hw[64] > 0.9
     assert hw[GRAINS[-1]] > 0.85  # hardware sustains fine grain
     assert sw[GRAINS[-1]] < 0.6  # software master thread saturates
+    # The interval index buys software tracking part of the gap — never
+    # all of it: still a serial master thread underneath.
+    for g in GRAINS:
+        assert sw[g] <= ix[g] + 1e-9
+        assert ix[g] <= hw[g] + 1e-9
+    assert ix[GRAINS[-1]] < 0.6
     # Efficiency is monotone-decreasing in grain for the software path.
     effs = [sw[g] for g in GRAINS]
     assert effs == sorted(effs, reverse=True)

@@ -330,48 +330,82 @@ def pipeline_grid(
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
-#: Named workload families for benchmark harnesses: each factory maps a
-#: ``scale`` (graph size multiplier) and ``seed`` to a task list.
-WORKLOADS: Dict[str, Callable[..., List[Task]]] = {
-    "layered": lambda scale=1, seed=0: random_layered(
+def _wl_layered(
+    scale=1, seed=0, cost_mult=1.0, mem_ratio=0.2, jitter=0.5, fanin=3
+):
+    return random_layered(
         n_layers=6 * scale,
         width=8 * scale,
-        fanin=3,
-        cpu_cycles=2e6,
-        mem_ratio=0.2,
-        jitter=0.5,
+        fanin=fanin,
+        cpu_cycles=2e6 * cost_mult,
+        mem_ratio=mem_ratio,
+        jitter=jitter,
         seed=seed,
-    ),
-    "cholesky": lambda scale=1, seed=0: cholesky_tiles(
-        nt=4 * scale, cpu_cycles=4e6, mem_ratio=0.3
-    ),
-    "lu": lambda scale=1, seed=0: lu_tiles(
-        nt=3 * scale, cpu_cycles=4e6, mem_ratio=0.3
-    ),
-    "fork_join": lambda scale=1, seed=0: fork_join_ladder(
+    )
+
+
+def _wl_cholesky(scale=1, seed=0, cost_mult=1.0, mem_ratio=0.3):
+    return cholesky_tiles(
+        nt=4 * scale, cpu_cycles=4e6 * cost_mult, mem_ratio=mem_ratio
+    )
+
+
+def _wl_lu(scale=1, seed=0, cost_mult=1.0, mem_ratio=0.3):
+    return lu_tiles(
+        nt=3 * scale, cpu_cycles=4e6 * cost_mult, mem_ratio=mem_ratio
+    )
+
+
+def _wl_fork_join(scale=1, seed=0, cost_mult=1.0, mem_ratio=0.1, jitter=0.3):
+    return fork_join_ladder(
         width=8 * scale,
         depth=4 * scale,
-        cpu_cycles=1e6,
-        mem_ratio=0.1,
-        jitter=0.3,
+        cpu_cycles=1e6 * cost_mult,
+        mem_ratio=mem_ratio,
+        jitter=jitter,
         seed=seed,
-    ),
-    "pipeline": lambda scale=1, seed=0: pipeline_grid(
+    )
+
+
+def _wl_pipeline(
+    scale=1, seed=0, cost_mult=1.0, mem_ratio=0.2, stage_skew=0.5
+):
+    return pipeline_grid(
         n_stages=4,
         n_items=16 * scale,
-        cpu_cycles=1e6,
-        mem_ratio=0.2,
-        stage_skew=0.5,
-    ),
+        cpu_cycles=1e6 * cost_mult,
+        mem_ratio=mem_ratio,
+        stage_skew=stage_skew,
+    )
+
+
+#: Named workload families for benchmark harnesses: each factory maps a
+#: ``scale`` (graph size multiplier), a ``seed`` and optional shape knobs
+#: (``cost_mult``, ``mem_ratio``, family-specific ``jitter``/``fanin``/
+#: ``stage_skew``) to a task list.  With no knobs the defaults reproduce
+#: the historical workloads bit for bit.
+WORKLOADS: Dict[str, Callable[..., List[Task]]] = {
+    "layered": _wl_layered,
+    "cholesky": _wl_cholesky,
+    "lu": _wl_lu,
+    "fork_join": _wl_fork_join,
+    "pipeline": _wl_pipeline,
 }
 
 
-def make_workload(name: str, scale: int = 1, seed: int = 0) -> List[Task]:
-    """Build a registered workload family by name."""
+def make_workload(
+    name: str, scale: int = 1, seed: int = 0, **knobs
+) -> List[Task]:
+    """Build a registered workload family by name.
+
+    ``knobs`` forward to the family factory (campaign scenarios carry
+    them as ``wl_``-prefixed params); an unknown knob raises the
+    factory's ``TypeError`` naming the family's accepted set.
+    """
     try:
         factory = WORKLOADS[name]
     except KeyError:
         raise ValueError(
             f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
         ) from None
-    return factory(scale=scale, seed=seed)
+    return factory(scale=scale, seed=seed, **knobs)

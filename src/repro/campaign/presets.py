@@ -59,18 +59,49 @@ def _scheduler_matrix() -> Matrix:
     )
 
 
+#: Skewed, costlier per-family parameterisations for the RSU comparison:
+#: heavier tasks (``wl_cost_mult``), lower memory ratios (DVFS-sensitive)
+#: and harsher imbalance (``wl_jitter`` / ``wl_stage_skew``), so that
+#: scheduler choice and RSU boosting actually separate the makespans —
+#: at the stock smoke-scale settings most schedulers tie.
+RSU_COMPARISON_KNOBS: Dict[str, Dict[str, float]] = {
+    "layered": {"wl_cost_mult": 4.0, "wl_jitter": 1.2, "wl_mem_ratio": 0.05},
+    "cholesky": {"wl_cost_mult": 8.0, "wl_mem_ratio": 0.1},
+    "lu": {"wl_cost_mult": 8.0, "wl_mem_ratio": 0.1},
+    "fork_join": {"wl_cost_mult": 4.0, "wl_jitter": 1.5, "wl_mem_ratio": 0.05},
+    "pipeline": {"wl_cost_mult": 4.0, "wl_stage_skew": 2.0, "wl_mem_ratio": 0.05},
+}
+
+
 def _rsu_comparison() -> Matrix:
-    """RSU criticality boosting on the DAG families: static frequency vs
-    oracle-marked vs online-heuristic criticality, CATS scheduling."""
-    return Matrix.product(
-        "rsu_comparison",
-        families=DAG_FAMILIES,
-        schedulers=("cats",),
-        rsu_modes=("off", "oracle", "heuristic"),
-        core_counts=(16,),
-        scales=(1,),
-        seeds=(1,),
-    )
+    """RSU criticality boosting meets scheduling policy, jointly: every
+    scheduler × static frequency vs oracle-marked vs online-heuristic
+    criticality, on skewed/costlier DAG-family parameterisations whose
+    per-scenario makespans genuinely diverge (ROADMAP open item 2).
+
+    8 cores at graph scale 2 keeps the machine narrower than the ready
+    sets, so queue order matters: 14 of the 15 family × RSU rows show
+    several distinct makespans across the seven schedulers (the one tie,
+    ``pipeline`` at static frequency, is structural — its parallelism
+    never exceeds its 4 stages, so any work-conserving order is optimal).
+    """
+    scenarios: List[Scenario] = []
+    for family in DAG_FAMILIES:
+        params = tuple(sorted(RSU_COMPARISON_KNOBS[family].items()))
+        for scheduler in ALL_SCHEDULERS:
+            for rsu in ("off", "oracle", "heuristic"):
+                scenarios.append(
+                    Scenario(
+                        family,
+                        scheduler=scheduler,
+                        rsu=rsu,
+                        n_cores=8,
+                        scale=2,
+                        seed=1,
+                        params=params,
+                    )
+                )
+    return Matrix("rsu_comparison", tuple(scenarios))
 
 
 def _fig2_rsu() -> Matrix:
@@ -151,7 +182,7 @@ PRESETS: Dict[str, Tuple[str, Callable[[], Matrix]]] = {
         _scheduler_matrix,
     ),
     "rsu_comparison": (
-        "RSU off/oracle/heuristic x 5 DAG families, CATS, 16 cores",
+        "7 schedulers x RSU off/oracle/heuristic x 5 skewed DAG families",
         _rsu_comparison,
     ),
     "fig2_rsu": (

@@ -103,16 +103,26 @@ class _TaskCollector:
 
 
 def _build_workload(scenario: Scenario) -> List:
-    """Materialise the scenario's task list from its family + knobs."""
+    """Materialise the scenario's task list from its family + knobs.
+
+    Scenario params prefixed ``wl_`` are workload-shape knobs forwarded
+    to the DAG-family factory (``wl_cost_mult`` -> ``cost_mult`` ...);
+    unprefixed params stay machine/RSU-side.
+    """
     family = scenario.family
     if family in WORKLOADS:
-        return make_workload(family, scale=scenario.scale, seed=scenario.seed)
+        knobs = {
+            k[3:]: v for k, v in scenario.params if k.startswith("wl_")
+        }
+        return make_workload(
+            family, scale=scenario.scale, seed=scenario.seed, **knobs
+        )
     if family == "chain":
         fillers_per_core = scenario.param("fillers_per_core")
         n_fillers = (
             int(fillers_per_core) * scenario.n_cores
             if fillers_per_core is not None
-            else int(scenario.param("n_fillers", 620)) * scenario.scale
+            else int(scenario.param("n_fillers", 2000)) * scenario.scale
         )
         return critical_chain_with_fillers(
             chain_len=int(scenario.param("chain_len", 8)),

@@ -17,14 +17,19 @@ BSC line of work (CATS / CATA) explored:
 * :class:`AnnotatedCriticality` — programmer-annotated, the "simply
   annotated by the programmer" variant mentioned in the paper; reads a
   boolean from the task's label registry.
+
+Policies speak the id-keyed surface: :meth:`~CriticalityPolicy.is_critical`
+receives the candidate's dense task id, the scheduler's ready id snapshot,
+and the graph as the explicit id → Task view — per-task keys (bottom
+levels, oracle marks, labels) are read from the graph's arrays, never from
+materialised Task collections.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional, Sequence
 
 from .graph import TaskGraph
-from .task import Task
 
 __all__ = [
     "CriticalityPolicy",
@@ -40,7 +45,14 @@ class CriticalityPolicy:
     def prepare(self, graph: TaskGraph) -> None:
         """Called once the graph (or a batch of submissions) is complete."""
 
-    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
+    def is_critical(
+        self, gid: int, ready: Sequence[int], graph: TaskGraph
+    ) -> bool:
+        """Decide for the task with dense id ``gid``.
+
+        ``ready`` is the scheduler's current ready-id snapshot and
+        ``graph`` the id → Task view whose arrays hold per-task keys.
+        """
         raise NotImplementedError
 
 
@@ -50,8 +62,10 @@ class CriticalPathOracle(CriticalityPolicy):
     def prepare(self, graph: TaskGraph) -> None:
         graph.mark_critical_tasks()
 
-    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
-        return task.critical
+    def is_critical(
+        self, gid: int, ready: Sequence[int], graph: TaskGraph
+    ) -> bool:
+        return graph.critical[gid]
 
 
 class BottomLevelHeuristic(CriticalityPolicy):
@@ -71,11 +85,14 @@ class BottomLevelHeuristic(CriticalityPolicy):
     def prepare(self, graph: TaskGraph) -> None:
         graph.compute_bottom_levels()
 
-    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
-        levels = [t.bottom_level for t in ready]
-        if not levels:
-            return task.bottom_level > 0
-        return task.bottom_level >= self.ratio * max(levels)
+    def is_critical(
+        self, gid: int, ready: Sequence[int], graph: TaskGraph
+    ) -> bool:
+        levels = graph.bottom_level
+        own = levels[gid]
+        if not ready:
+            return own > 0
+        return own >= self.ratio * max(levels[g] for g in ready)
 
 
 class AnnotatedCriticality(CriticalityPolicy):
@@ -91,5 +108,7 @@ class AnnotatedCriticality(CriticalityPolicy):
         self.annotations = dict(annotations or {})
         self.default = default
 
-    def is_critical(self, task: Task, ready: Iterable[Task]) -> bool:
-        return self.annotations.get(task.label, self.default)
+    def is_critical(
+        self, gid: int, ready: Sequence[int], graph: TaskGraph
+    ) -> bool:
+        return self.annotations.get(graph.tasks[gid].label, self.default)

@@ -44,11 +44,15 @@ region's writer set (last-writer compaction — earlier readers, writers and
 concurrents are fully ordered before it and can be forgotten), and writer
 propagation into overlapping histories deduplicates by task id, so a
 multi-access writer is recorded once per region, not once per access.
-Members are stored as insertion-ordered ``{task_id: Task}`` dicts: the hot
-loops then move data with C-level ``dict.update`` on int keys instead of
-hashing ``Task`` objects through their Python-level ``__hash__``.  Finished
-tasks can additionally be dropped via :meth:`prune_finished`, as in
-Nanos++.
+Members are stored as insertion-ordered ``{gid: Task}`` dicts keyed by the
+task's dense graph id: the hot loops move data with C-level ``dict.update``
+on int keys instead of hashing ``Task`` objects through their Python-level
+``__hash__``, and :meth:`register_preds` hands the accumulated key view —
+a predecessor *id* collection — straight to
+:meth:`~repro.core.graph.TaskGraph.add_edges_to` with no Task-set
+materialisation.  Tasks registered outside any graph get tracker-local
+negative ids, so the standalone API keeps working.  Finished tasks can
+additionally be dropped via :meth:`prune_finished`, as in Nanos++.
 """
 
 from __future__ import annotations
@@ -76,7 +80,8 @@ class _RegionHistory:
     this region (the first entry is the last exact writer, if any; the rest
     were propagated from overlapping writes).  ``readers``/``concurrents``
     hold the exact accesses of those kinds since the last exact write.
-    All three are insertion-ordered ``{task_id: Task}`` dicts.
+    All three are insertion-ordered ``{gid: Task}`` dicts keyed by the
+    task's dense graph id (tracker-local negative id when detached).
 
     ``overlaps`` is the cached list of histories whose region overlaps this
     one — *including itself* — maintained symmetrically as new regions are
@@ -91,7 +96,8 @@ class _RegionHistory:
         self.writers: Dict[int, Task] = {}
         self.readers: Dict[int, Task] = {}
         self.concurrents: Dict[int, Task] = {}
-        self.overlaps: List[_RegionHistory] = []
+        # ``overlaps`` is filled by _insert_history immediately after
+        # construction (not allocated here: one fewer list per region).
 
 
 class _NameIndex:
@@ -121,6 +127,14 @@ class DependenceTracker:
 
     def __init__(self) -> None:
         self._by_name: Dict[str, _NameIndex] = {}
+        # Tracker-local dense ids for tasks registered outside any graph
+        # (counting down from -2; graph-attached tasks use their gid >= 0,
+        # -1 is the detached sentinel).  Either way every task this tracker
+        # sees carries a unique int id for the member dicts.
+        self._next_detached = -2
+        # The one TaskGraph whose gids this tracker has seen (gids are
+        # graph-local, so mixing graphs is rejected in register_preds).
+        self._graph = None
         self.edges_added = 0
         #: Candidate histories examined by insertion scans so far
         #: (including window false positives) — index efficiency metric.
@@ -154,8 +168,9 @@ class DependenceTracker:
         for other in entry.longs:
             if other.start < qstop and other.stop > qstart:
                 found.append(other)
-        for other in found:
-            other.overlaps.append(h)
+        if found:
+            for other in found:
+                other.overlaps.append(h)
         found.append(h)
         h.overlaps = found
         length = qstop - qstart
@@ -178,20 +193,39 @@ class DependenceTracker:
         ``successor is task``; self-edges (a task touching the same region
         twice) are suppressed.
         """
-        return {(pred, task) for pred in self.register_preds(task)}
+        return {(pred, task) for pred in self.register_preds(task).values()}
 
-    def register_preds(self, task: Task):
-        """Register ``task``'s accesses; return its predecessors.
+    def register_preds(self, task: Task) -> Dict[int, Task]:
+        """Register ``task``'s accesses; return its predecessors keyed by id.
 
         The runtime's fast path: the successor of every edge is ``task``
-        itself, so this returns the bare predecessor tasks (a dict-values
-        view, deduplicated, self excluded) instead of building one tuple
-        per edge on the submission hot path.
+        itself, so this returns a ``{gid: Task}`` mapping (deduplicated,
+        self excluded) whose *key view is the predecessor id-list* that
+        :meth:`TaskGraph.add_edges_to` consumes directly — no per-edge
+        tuples and no Task-set materialisation on the submission hot path.
+        For tasks not attached to a graph the ids are tracker-local
+        negatives, useful only for dedup/counters.
         """
+        graph = task.graph
+        if graph is not None:
+            # Member dicts key by gid, which is only unique within one
+            # graph: feeding one tracker tasks from two graphs would
+            # silently collide ids and drop/merge dependences, so it is
+            # an error, not a wrong answer.
+            if graph is not self._graph:
+                if self._graph is not None:
+                    raise ValueError(
+                        "tracker already bound to a different TaskGraph; "
+                        "one DependenceTracker serves one graph"
+                    )
+                self._graph = graph
+        tid = task.gid
+        if tid == -1:
+            tid = task.gid = self._next_detached
+            self._next_detached -= 1
         preds: Dict[int, Task] = {}
         matches = 0
         by_name = self._by_name
-        tid = task.task_id
         for dep in task.deps:
             region = dep.region
             kind = dep.kind
@@ -203,49 +237,108 @@ class DependenceTracker:
             h = entry.exact.get((qstart, qstop))
             if h is None:
                 h = self._insert_history(entry, qstart, qstop)
+                if len(h.overlaps) == 1:
+                    # Brand-new region overlapping nothing: its (empty)
+                    # history contributes no edges — just record the
+                    # access.  This is every first write to a fresh tile,
+                    # the hottest case of the tiled workloads.
+                    matches += 1
+                    if kind is _IN:
+                        h.readers[tid] = task
+                    elif kind is _CONCURRENT:
+                        h.concurrents[tid] = task
+                    else:
+                        h.writers = {tid: task}
+                    continue
             overlapping = h.overlaps
-            matches += len(overlapping)
+            n_over = len(overlapping)
+            matches += n_over
 
             # --- edge computation (before this access is recorded) ----
+            # Empty member dicts are guarded out (no C update call on
+            # nothing), and the single-overlap case — an isolated region,
+            # the common shape under disjoint tiling — skips the loop
+            # machinery entirely.
             if kind is _IN:
                 # RAW against writers and any open concurrent group
                 # (concurrent tasks count as writers to outsiders).
-                for o in overlapping:
-                    preds.update(o.writers)
-                    preds.update(o.concurrents)
+                if n_over == 1:
+                    w = h.writers
+                    if w:
+                        preds.update(w)
+                    c = h.concurrents
+                    if c:
+                        preds.update(c)
+                else:
+                    for o in overlapping:
+                        w = o.writers
+                        if w:
+                            preds.update(w)
+                        c = o.concurrents
+                        if c:
+                            preds.update(c)
                 h.readers[tid] = task
             elif kind is _CONCURRENT:
                 # Ordered against writers and ordinary readers, but NOT
                 # against fellow members of the open concurrent group.
                 for o in overlapping:
-                    preds.update(o.writers)
-                    preds.update(o.readers)
+                    w = o.writers
+                    if w:
+                        preds.update(w)
+                    r = o.readers
+                    if r:
+                        preds.update(r)
                 h.concurrents[tid] = task
             else:
                 # OUT/INOUT: WAW vs writers, WAR vs readers, ordering vs
                 # concurrents.  COMMUTATIVE chains conservatively the same
                 # way, serialising the group in submission order (a legal
                 # linearisation of the relaxed semantics).
-                for o in overlapping:
-                    preds.update(o.writers)
-                    preds.update(o.readers)
-                    preds.update(o.concurrents)
+                if n_over == 1:
+                    w = h.writers
+                    if w:
+                        preds.update(w)
+                    r = h.readers
+                    if r:
+                        preds.update(r)
+                        h.readers = {}
+                    c = h.concurrents
+                    if c:
+                        preds.update(c)
+                        h.concurrents = {}
+                else:
+                    # Edge collection and writer propagation fused into
+                    # one pass: each history's members merge into
+                    # ``preds`` *before* the new writer is recorded into
+                    # it, and the self-entry this plants in ``h.writers``
+                    # is overwritten by the reset below (self edges are
+                    # popped at the end regardless).  Every overlapping
+                    # region must observe the new writer, otherwise a
+                    # later reader of the overlap could miss the RAW
+                    # edge.
+                    for o in overlapping:
+                        w = o.writers
+                        if w:
+                            preds.update(w)
+                        r = o.readers
+                        if r:
+                            preds.update(r)
+                        c = o.concurrents
+                        if c:
+                            preds.update(c)
+                        w[tid] = task
+                    if h.readers:
+                        h.readers = {}
+                    if h.concurrents:
+                        h.concurrents = {}
                 # New sole writer: previous readers/writers/concurrents
-                # are now fully ordered before it (last-writer
-                # compaction), and every overlapping region must observe
-                # the new writer, otherwise a later reader of the overlap
-                # could miss the RAW edge.
+                # are now fully ordered before it (last-writer compaction).
                 h.writers = {tid: task}
-                h.readers = {}
-                h.concurrents = {}
-                for o in overlapping:
-                    if o is not h:
-                        o.writers[tid] = task
         preds.pop(tid, None)
         self.scan_matches += matches
         self.last_matches = matches
         self.edges_added += len(preds)
-        return preds.values()
+        return preds
 
     # ------------------------------------------------------------------
     def prune_finished(self) -> int:

@@ -1,20 +1,38 @@
-"""The Task Dependency Graph (TDG).
+"""The Task Dependency Graph (TDG) — id-keyed, struct-of-arrays core.
 
 The paper: *"tasks have data dependencies between them and a Task Dependency
 Graph (TDG) can be built at runtime or statically.  In this context, the
 runtime drives the design of new architecture components to support
 activities like the construction of the TDG."*
 
+Representation
+--------------
+Every task added to the graph receives a dense integer id (``task.gid``,
+its insertion index), and all structural state lives in parallel arrays
+indexed by that id:
+
+* ``succ_ids`` / ``pred_ids`` — append-only adjacency (``List[List[int]]``);
+* ``unfinished_preds`` — ready counts the runtime decrements on completion;
+* ``depth`` / ``state`` / ``bottom_level`` / ``critical`` — per-task
+  scalars consumed by schedulers, criticality policies and the analyses.
+
+Edge insertion on the submission hot path is then pure C-level list
+traffic (an ``append`` per endpoint) instead of ``set`` operations that
+hash ``Task`` objects through their Python-level ``__hash__`` — the
+constant factor ROADMAP open item 3 targeted.  :class:`~repro.core.task.Task`
+stays a thin handle whose ``predecessors``/``successors``/... properties
+delegate back here, so object-level user code keeps working.
+
 This module holds the graph itself plus the global analyses the rest of the
-system consumes: topological ordering, longest (critical) path, bottom
-levels, width/depth profiles, and an export to :mod:`networkx` for ad-hoc
-inspection.  Edge insertion is O(1); analyses are run on demand.
+system consumes — topological ordering, longest (critical) path, bottom
+levels, width/depth profiles, and an export to :mod:`networkx` — all
+implemented as array sweeps over ids.  Edge insertion is O(1); analyses
+run on demand.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .task import Task, TaskState
 
@@ -27,91 +45,145 @@ class CycleError(ValueError):
 
 
 class TaskGraph:
-    """A DAG of :class:`~repro.core.task.Task` nodes.
+    """A DAG of :class:`~repro.core.task.Task` nodes in id-keyed storage.
 
-    The graph owns no scheduling state beyond each task's predecessor /
-    successor sets; the runtime mutates ``unfinished_preds`` as execution
-    progresses.
+    The graph owns all structural and scheduling-adjacent per-task state
+    (adjacency, ready counts, depth, state, bottom levels, criticality);
+    the runtime mutates the arrays as execution progresses.  ``tasks[gid]``
+    maps a dense id back to its handle — the "id → Task view" schedulers
+    and criticality policies are given.
     """
 
     def __init__(self) -> None:
+        #: gid -> Task handle (the id → Task view).
         self.tasks: List[Task] = []
-        self._task_ids: Set[int] = set()
+        #: gid -> globally unique ``task_id`` (the deterministic wake-order
+        #: sort key).
+        self.task_ids: List[int] = []
+        #: ``task_id`` -> gid (duplicate detection + object-API lookups).
+        self.index_of: Dict[int, int] = {}
+        #: gid -> successor gids, in edge-insertion order.
+        self.succ_ids: List[List[int]] = []
+        #: gid -> predecessor gids, in edge-insertion order.
+        self.pred_ids: List[List[int]] = []
+        #: gid -> number of predecessors not yet FINISHED.
+        self.unfinished_preds: List[int] = []
+        #: gid -> longest-edge-count distance from a root (monotone
+        #: under-approximation during construction; see width_profile).
+        self.depth: List[int] = []
+        #: gid -> TaskState.
+        self.state: List[TaskState] = []
+        #: gid -> bottom level (filled by compute_bottom_levels).
+        self.bottom_level: List[float] = []
+        #: gid -> criticality flag (filled by mark_critical_tasks or the
+        #: runtime's online policy).
+        self.critical: List[bool] = []
+        # Per-gid length of the prefix of succ_ids[gid] known to be sorted
+        # by task_id (the deterministic wake order); maintained by
+        # prepare_wake_order / the runtime's completion path.
+        self._wake_len: List[int] = []
         self.n_edges = 0
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_task(self, task: Task) -> None:
-        if task.task_id in self._task_ids:
-            raise ValueError(f"task #{task.task_id} already in graph")
-        self._task_ids.add(task.task_id)
-        task.depth = 0
+    def add_task(self, task: Task) -> int:
+        """Register ``task``, assign its dense id and return it."""
+        tid = task.task_id
+        if tid in self.index_of:
+            raise ValueError(f"task #{tid} already in graph")
+        gid = len(self.tasks)
+        self.index_of[tid] = gid
+        task.graph = self
+        task.gid = gid
         self.tasks.append(task)
+        self.task_ids.append(tid)
+        self.succ_ids.append([])
+        self.pred_ids.append([])
+        self.unfinished_preds.append(0)
+        self.depth.append(0)
+        # Detached-task state carries over (matching the object-graph
+        # behaviour, which kept whatever the task already held).
+        self.state.append(task._state)
+        self.bottom_level.append(task._bottom_level)
+        self.critical.append(task._critical)
+        self._wake_len.append(0)
+        return gid
 
     def add_edge(self, pred: Task, succ: Task) -> bool:
-        """Insert ``pred -> succ``; returns False if it already existed."""
-        if pred.task_id not in self._task_ids or succ.task_id not in self._task_ids:
+        """Insert ``pred -> succ``; returns False if it already existed.
+
+        The object-handle API (tests, manually built graphs).  The
+        submission hot path uses :meth:`add_edges_to` on ids instead.
+        """
+        pg = self.index_of.get(pred.task_id)
+        sg = self.index_of.get(succ.task_id)
+        if pg is None or sg is None:
             raise ValueError("both endpoints must be in the graph")
-        if succ in pred.successors:
+        if sg in self.succ_ids[pg]:
             return False
-        pred.successors.add(succ)
-        succ.predecessors.add(pred)
-        if pred.state is not TaskState.FINISHED:
-            succ.unfinished_preds += 1
-        succ.depth = max(succ.depth, pred.depth + 1)
+        self.succ_ids[pg].append(sg)
+        self.pred_ids[sg].append(pg)
+        if self.state[pg] is not TaskState.FINISHED:
+            self.unfinished_preds[sg] += 1
+        if self.depth[pg] >= self.depth[sg]:
+            self.depth[sg] = self.depth[pg] + 1
         self.n_edges += 1
         return True
 
-    def add_edges_to(self, preds: Iterable[Task], succ: Task) -> int:
-        """Bulk insert ``pred -> succ`` for every predecessor; returns the
-        number of edges that were new.
+    def add_edges_to(self, pred_gids: Iterable[int], succ_gid: int) -> int:
+        """Bulk insert ``pred -> succ`` edges by id; returns how many were
+        new.
 
-        The submission hot path: ``preds`` must be duplicate-free and
-        already registered in this graph (both hold for the dependence
-        tracker's output), which lets the common case — a freshly
-        submitted ``succ`` with no edges yet — skip the per-edge
-        membership probes entirely.  Iteration order does not matter:
-        every update (depth max, counter increments) is order-insensitive,
-        so an unordered predecessor set yields deterministic state.
+        The submission hot path: ``pred_gids`` is the dependence tracker's
+        predecessor id collection (duplicate-free, all already in this
+        graph), which lets the common case — a freshly submitted ``succ``
+        with no edges yet — append straight into the adjacency arrays
+        with no membership probes and no ``Task`` hashing.  Iteration
+        order does not matter: every update (depth max, counter
+        increments) is order-insensitive.
         """
-        if succ.task_id not in self._task_ids:
-            raise ValueError("both endpoints must be in the graph")
-        if not hasattr(preds, "__len__"):
-            # The fresh-succ branch below iterates twice; materialise
-            # one-shot iterables (the tracker's dict-values view is sized
+        if not hasattr(pred_gids, "__len__"):
+            # Both branches iterate twice (loop + extend / set probe);
+            # materialise one-shot iterators (the tracker's dict is sized
             # and skips this).
-            preds = list(preds)
-        succ_preds = succ.predecessors
+            pred_gids = list(pred_gids)
+        succs = self.succ_ids
+        depths = self.depth
+        states = self.state
         finished = TaskState.FINISHED
-        depth = succ.depth
+        preds_list = self.pred_ids[succ_gid]
+        depth = depths[succ_gid]
         unfinished = 0
-        if succ_preds:
+        if preds_list:
             # succ already has edges: probe membership per predecessor.
+            existing = set(preds_list)
             added = 0
-            for pred in preds:
-                if pred in succ_preds:
+            for p in pred_gids:
+                if p in existing:
                     continue
-                pred.successors.add(succ)
-                succ_preds.add(pred)
-                if pred.state is not finished:
+                succs[p].append(succ_gid)
+                preds_list.append(p)
+                if states[p] is not finished:
                     unfinished += 1
-                if pred.depth >= depth:
-                    depth = pred.depth + 1
+                d = depths[p]
+                if d >= depth:
+                    depth = d + 1
                 added += 1
         else:
             # Freshly submitted succ: every pred is a new edge, and the
-            # predecessor set fills in one bulk update.
-            for pred in preds:
-                pred.successors.add(succ)
-                if pred.state is not finished:
+            # predecessor list fills in one bulk extend.
+            for p in pred_gids:
+                succs[p].append(succ_gid)
+                if states[p] is not finished:
                     unfinished += 1
-                if pred.depth >= depth:
-                    depth = pred.depth + 1
-            succ_preds.update(preds)
-            added = len(preds)
-        succ.depth = depth
-        succ.unfinished_preds += unfinished
+                d = depths[p]
+                if d >= depth:
+                    depth = d + 1
+            preds_list.extend(pred_gids)
+            added = len(preds_list)
+        depths[succ_gid] = depth
+        self.unfinished_preds[succ_gid] += unfinished
         self.n_edges += added
         return added
 
@@ -122,70 +194,120 @@ class TaskGraph:
     # queries
     # ------------------------------------------------------------------
     def roots(self) -> List[Task]:
-        return [t for t in self.tasks if not t.predecessors]
+        tasks = self.tasks
+        return [tasks[g] for g, p in enumerate(self.pred_ids) if not p]
 
     def sinks(self) -> List[Task]:
-        return [t for t in self.tasks if not t.successors]
+        tasks = self.tasks
+        return [tasks[g] for g, s in enumerate(self.succ_ids) if not s]
 
-    def topological_order(self) -> List[Task]:
-        """Kahn's algorithm; raises :class:`CycleError` on cycles."""
-        indeg: Dict[int, int] = {t.task_id: len(t.predecessors) for t in self.tasks}
-        queue = deque(t for t in self.tasks if indeg[t.task_id] == 0)
-        order: List[Task] = []
-        while queue:
-            node = queue.popleft()
-            order.append(node)
-            for succ in node.successors:
-                indeg[succ.task_id] -= 1
-                if indeg[succ.task_id] == 0:
-                    queue.append(succ)
-        if len(order) != len(self.tasks):
+    def topo_ids(self) -> List[int]:
+        """Kahn's algorithm over ids; raises :class:`CycleError` on cycles."""
+        preds = self.pred_ids
+        succs = self.succ_ids
+        n = len(preds)
+        indeg = [len(p) for p in preds]
+        order = [g for g in range(n) if not indeg[g]]
+        i = 0
+        while i < len(order):
+            for s in succs[order[i]]:
+                d = indeg[s] = indeg[s] - 1
+                if d == 0:
+                    order.append(s)
+            i += 1
+        if len(order) != n:
             raise CycleError(
-                f"dependence cycle: {len(self.tasks) - len(order)} tasks unreachable"
+                f"dependence cycle: {n - len(order)} tasks unreachable"
             )
         return order
 
+    def topological_order(self) -> List[Task]:
+        """:meth:`topo_ids` mapped back to task handles."""
+        tasks = self.tasks
+        return [tasks[g] for g in self.topo_ids()]
+
     def validate(self) -> None:
         """Check structural invariants (acyclicity, symmetric adjacency)."""
-        self.topological_order()
-        for t in self.tasks:
-            for s in t.successors:
-                if t not in s.predecessors:
+        self.topo_ids()
+        for g in range(len(self.tasks)):
+            for s in self.succ_ids[g]:
+                if g not in self.pred_ids[s]:
                     raise AssertionError("asymmetric adjacency")
-            for p in t.predecessors:
-                if t not in p.successors:
+            for p in self.pred_ids[g]:
+                if g not in self.succ_ids[p]:
                     raise AssertionError("asymmetric adjacency")
 
     # ------------------------------------------------------------------
-    # analyses
+    # wake order
+    # ------------------------------------------------------------------
+    def prepare_wake_order(self) -> None:
+        """Sort every successor list into deterministic wake order.
+
+        Wake order is ascending ``task_id`` (matching the pre-id-keyed
+        runtime, whose completion path sorted successor sets).  For the
+        workload builders — which submit tasks in creation order — the
+        lists are already sorted and Timsort's run detection makes this a
+        linear verification pass.  The runtime re-sorts an individual
+        list lazily (via ``_wake_len``) if edges were added later.
+        """
+        key = self.task_ids.__getitem__
+        wake = self._wake_len
+        for g, lst in enumerate(self.succ_ids):
+            if len(lst) > 1:
+                lst.sort(key=key)
+            wake[g] = len(lst)
+
+    # ------------------------------------------------------------------
+    # analyses (array sweeps over ids)
     # ------------------------------------------------------------------
     def compute_bottom_levels(
         self, weight: Optional[Callable[[Task], float]] = None
     ) -> float:
-        """Fill each task's ``bottom_level`` and return the maximum.
+        """Fill ``bottom_level`` for every id and return the maximum.
 
         The bottom level of a task is its own weight plus the heaviest chain
         of successors below it — the classic list-scheduling priority and the
         quantity that defines the *critical path* (Section 3.1: a task is
         critical if it belongs to the critical path of the TDG).
         """
-        weight = weight or (lambda t: t.reference_work())
-        for task in reversed(self.topological_order()):
-            below = max((s.bottom_level for s in task.successors), default=0.0)
-            task.bottom_level = weight(task) + below
-        return max((t.bottom_level for t in self.tasks), default=0.0)
+        order = self.topo_ids()
+        succs = self.succ_ids
+        bl = self.bottom_level
+        tasks = self.tasks
+        if weight is None:
+            # Default weight inlined: reference_work() at the 1 GHz
+            # reference frequency, kept bit-identical to Task.duration_at.
+            for g in reversed(order):
+                below = 0.0
+                for s in succs[g]:
+                    v = bl[s]
+                    if v > below:
+                        below = v
+                t = tasks[g]
+                bl[g] = t.cpu_cycles / 1e9 + t.mem_seconds + below
+        else:
+            for g in reversed(order):
+                below = 0.0
+                for s in succs[g]:
+                    v = bl[s]
+                    if v > below:
+                        below = v
+                bl[g] = weight(tasks[g]) + below
+        return max(bl, default=0.0)
 
     def critical_path(
         self, weight: Optional[Callable[[Task], float]] = None
     ) -> Tuple[List[Task], float]:
         """One longest path through the DAG and its total weight."""
         length = self.compute_bottom_levels(weight)
+        bl = self.bottom_level
+        tasks = self.tasks
         path: List[Task] = []
-        frontier = self.roots()
+        frontier = [g for g, p in enumerate(self.pred_ids) if not p]
         while frontier:
-            node = max(frontier, key=lambda t: t.bottom_level)
-            path.append(node)
-            frontier = list(node.successors)
+            g = max(frontier, key=bl.__getitem__)
+            path.append(tasks[g])
+            frontier = self.succ_ids[g]
         return path, length
 
     def mark_critical_tasks(
@@ -193,26 +315,36 @@ class TaskGraph:
         weight: Optional[Callable[[Task], float]] = None,
         tolerance: float = 1e-9,
     ) -> int:
-        """Set ``task.critical`` for every task lying on *some* longest path.
+        """Set ``critical[gid]`` for every task lying on *some* longest path.
 
         A task is on a longest path iff ``top_level + bottom_level`` equals
         the critical-path length (top level = heaviest chain strictly above
         it).  Returns the number of critical tasks.
         """
-        weight = weight or (lambda t: t.reference_work())
         length = self.compute_bottom_levels(weight)
-        top: Dict[int, float] = {}
-        for task in self.topological_order():
-            top[task.task_id] = max(
-                (top[p.task_id] + weight(p) for p in task.predecessors),
-                default=0.0,
-            )
+        order = self.topo_ids()
+        tasks = self.tasks
+        if weight is None:
+            w = [t.cpu_cycles / 1e9 + t.mem_seconds for t in tasks]
+        else:
+            w = [weight(t) for t in tasks]
+        preds = self.pred_ids
+        n = len(tasks)
+        top = [0.0] * n
+        for g in order:
+            best = 0.0
+            for p in preds[g]:
+                v = top[p] + w[p]
+                if v > best:
+                    best = v
+            top[g] = best
+        bl = self.bottom_level
+        crit = self.critical
         n_critical = 0
-        for task in self.tasks:
-            task.critical = (
-                top[task.task_id] + task.bottom_level >= length - tolerance
-            )
-            n_critical += task.critical
+        for g in range(n):
+            c = top[g] + bl[g] >= length - tolerance
+            crit[g] = c
+            n_critical += c
         return n_critical
 
     def width_profile(self) -> List[int]:
@@ -221,11 +353,19 @@ class TaskGraph:
             return []
         # Recompute depths from scratch (add_edge keeps them monotone but
         # submission order can under-approximate).
-        for task in self.topological_order():
-            task.depth = max((p.depth + 1 for p in task.predecessors), default=0)
+        order = self.topo_ids()
+        depth = self.depth
+        preds = self.pred_ids
+        for g in order:
+            best = 0
+            for p in preds[g]:
+                d = depth[p] + 1
+                if d > best:
+                    best = d
+            depth[g] = best
         levels: Dict[int, int] = {}
-        for task in self.tasks:
-            levels[task.depth] = levels.get(task.depth, 0) + 1
+        for d in depth:
+            levels[d] = levels.get(d, 0) + 1
         return [levels[d] for d in range(max(levels) + 1)]
 
     def total_work(self, weight: Optional[Callable[[Task], float]] = None) -> float:
@@ -245,15 +385,16 @@ class TaskGraph:
         import networkx as nx
 
         g = nx.DiGraph()
-        for t in self.tasks:
+        for gid, t in enumerate(self.tasks):
             g.add_node(
                 t.task_id,
                 label=t.label,
                 cpu_cycles=t.cpu_cycles,
                 mem_seconds=t.mem_seconds,
-                critical=t.critical,
+                critical=self.critical[gid],
             )
-        for t in self.tasks:
-            for s in t.successors:
-                g.add_edge(t.task_id, s.task_id)
+        ids = self.task_ids
+        for gid, succs in enumerate(self.succ_ids):
+            for s in succs:
+                g.add_edge(ids[gid], ids[s])
         return g

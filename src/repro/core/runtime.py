@@ -11,6 +11,13 @@ chip.  It glues together:
 * the :class:`~repro.sim.machine.Machine` (cores, power, discrete-event
   clock).
 
+The hot paths are id-keyed end to end: submission streams the tracker's
+predecessor id-lists into the graph's struct-of-arrays adjacency,
+schedulers queue dense task ids against the graph view the runtime binds
+at construction, and completion decrements ready counts by walking the
+successor id arrays — no ``Task``-set materialisation anywhere on the
+critical path of submission or wake-up.
+
 Execution is fully event-driven: task completions wake the dispatcher, which
 fills idle cores from the scheduler.  When a task carries a real Python
 function, the function runs at simulated-completion time; because completion
@@ -23,7 +30,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.machine import Machine
 from ..sim.rsu import RuntimeSupportUnit
@@ -66,7 +73,8 @@ class Runtime:
     machine:
         The simulated chip to execute on.
     scheduler:
-        Ready-queue policy (default FIFO).
+        Ready-queue policy (default FIFO).  The runtime binds it to the
+        graph's id → Task view at construction (``scheduler.bind``).
     criticality:
         Optional policy deciding per-task boost requests.
     rsu:
@@ -83,10 +91,9 @@ class Runtime:
         Optional :class:`~repro.sim.tdg_accel.SubmissionModel`: dependence
         registration then takes time on the (serial) master thread, so a
         task cannot become ready before the master has registered it.
-        Models the TDG-construction bottleneck that motivates hardware
-        support ("the runtime drives the design of new architecture
-        components to support activities like the construction of the
-        TDG").
+        Models that price matched accesses (``per_match_s``) or inserted
+        edges (``per_edge_s``) are fed the tracker's real match count and
+        the graph's real new-edge count for each registration.
     prefetcher:
         Optional :class:`~repro.core.prefetch.RuntimePrefetcher`: the
         runtime prefetches a ready task's input regions ahead of dispatch,
@@ -114,19 +121,26 @@ class Runtime:
         batch_dispatch: bool = True,
     ) -> None:
         self.machine = machine
-        self.scheduler = scheduler or FifoScheduler()
+        # ``is not None``, NOT truthiness: schedulers are falsy while
+        # empty (``__bool__`` is the dispatcher's O(1) work check), so
+        # ``scheduler or FifoScheduler()`` would silently replace every
+        # freshly built scheduler with FIFO — the regression that nulled
+        # the scheduler axis of all campaign sweeps between PR 1 and
+        # this fix.
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
         self.criticality = criticality
         self.rsu = rsu
         self.lower_on_idle = lower_on_idle
         self.tracker = DependenceTracker()
         self.graph = TaskGraph()
+        self.scheduler.bind(self.graph)
         self.trace = TraceRecorder() if record_trace else None
         self.execute_functions = execute_functions
         self.stats = StatSet("runtime")
         self._unfinished = 0
         self._dispatch_scheduled = False
         self._rr_hint = 0
-        self._pending_ready: List[Task] = []
+        self._pending_ready: List[int] = []
         # Explicit free-set of idle core ids, kept sorted ascending so the
         # dispatcher visits cores in the same order as a full scan would.
         self._idle_cores: List[int] = list(range(machine.n_cores))
@@ -141,19 +155,22 @@ class Runtime:
     # ------------------------------------------------------------------
     def submit(self, task: Task) -> Task:
         """Register a task: derive its TDG edges and queue it if ready."""
-        self.graph.add_task(task)
+        graph = self.graph
+        gid = graph.add_task(task)
         preds = self.tracker.register_preds(task)
-        if preds:
-            self.graph.add_edges_to(preds, task)
+        n_edges = graph.add_edges_to(preds, gid) if preds else 0
         self._unfinished += 1
         self.stats.add("tasks_submitted")
         if self.submission is not None:
             # The master thread serialises dependence registration.  A
-            # model that prices matched accesses (``per_match_s``) is fed
-            # the tracker's actual match count for this registration.
-            if getattr(self.submission, "per_match_s", 0.0):
+            # model that prices matched accesses (``per_match_s``) or
+            # inserted edges (``per_edge_s``) is fed the tracker's actual
+            # match count and the graph's actual new-edge count.
+            if getattr(self.submission, "per_match_s", 0.0) or getattr(
+                self.submission, "per_edge_s", 0.0
+            ):
                 cost = self.submission.register_seconds(
-                    len(task.deps), self.tracker.last_matches
+                    len(task.deps), self.tracker.last_matches, n_edges
                 )
             else:
                 cost = self.submission.register_seconds(len(task.deps))
@@ -164,7 +181,7 @@ class Runtime:
             self.stats.add("submission_seconds", cost)
         else:
             task.submit_time = self.machine.sim.now
-        if task.unfinished_preds == 0:
+        if graph.unfinished_preds[gid] == 0:
             self._make_ready(task)
         return task
 
@@ -180,41 +197,105 @@ class Runtime:
             # The master-thread latency chain is inherently sequential;
             # take the plain path to keep its accounting in one place.
             return [self.submit(t) for t in tasks]
+        if not isinstance(tasks, list):
+            tasks = list(tasks)
         graph = self.graph
         register_preds = self.tracker.register_preds
-        add_edges_to = graph.add_edges_to
         make_ready = self._make_ready
-        # graph.add_task, inlined (one Python call per task adds up on
-        # graphs of 10^4+ tasks; the semantics are pinned by the graph
-        # unit tests either way).
-        graph_ids = graph._task_ids
+        # graph.add_task and the fresh-successor branch of add_edges_to,
+        # inlined (a Python call per task adds up on graphs of 10^4+
+        # tasks; the semantics are pinned by the graph unit tests and the
+        # representation-equivalence suite either way).  The struct-of-
+        # arrays storage is bulk pre-extended in C-level comprehensions
+        # instead of per-task appends inside the loop.
+        index_of = graph.index_of
         graph_tasks = graph.tasks
+        succ_ids = graph.succ_ids
+        pred_ids = graph.pred_ids
+        unfinished_preds = graph.unfinished_preds
+        depth_arr = graph.depth
+        state_arr = graph.state
+        finished = TaskState.FINISHED
+        n_new = len(tasks)
+        start = len(graph_tasks)
+        tids = [t.task_id for t in tasks]
+        graph_tasks.extend(tasks)
+        graph.task_ids.extend(tids)
+        succ_ids.extend([] for _ in range(n_new))
+        pred_ids.extend([] for _ in range(n_new))
+        unfinished_preds.extend([0] * n_new)
+        depth_arr.extend([0] * n_new)
+        state_arr.extend(t._state for t in tasks)
+        graph.bottom_level.extend(t._bottom_level for t in tasks)
+        graph.critical.extend(t._critical for t in tasks)
+        graph._wake_len.extend([0] * n_new)
         now = self.machine.sim.now  # nothing below advances the clock
-        submitted: List[Task] = []
-        append = submitted.append
+        n_done = 0
+        n_edges = 0
         try:
-            for task in tasks:
-                task_id = task.task_id
-                if task_id in graph_ids:
-                    raise ValueError(f"task #{task_id} already in graph")
-                graph_ids.add(task_id)
-                task.depth = 0
-                graph_tasks.append(task)
+            for i, task in enumerate(tasks):
+                tid = tids[i]
+                if tid in index_of:
+                    raise ValueError(f"task #{tid} already in graph")
+                gid = start + i
+                index_of[tid] = gid
+                task.graph = graph
+                task.gid = gid
                 preds = register_preds(task)
                 if preds:
-                    add_edges_to(preds, task)
-                append(task)
-                task.submit_time = now
-                if task.unfinished_preds == 0:
+                    # Fresh successor: every tracker pred is a new edge.
+                    depth = 0
+                    unfinished = 0
+                    for p in preds:
+                        succ_ids[p].append(gid)
+                        if state_arr[p] is not finished:
+                            unfinished += 1
+                        d = depth_arr[p]
+                        if d >= depth:
+                            depth = d + 1
+                    pred_ids[gid].extend(preds)
+                    depth_arr[gid] = depth
+                    unfinished_preds[gid] = unfinished
+                    n_edges += len(preds)
+                    task.submit_time = now
+                    n_done += 1
+                    if unfinished == 0:
+                        make_ready(task)
+                else:
+                    task.submit_time = now
+                    n_done += 1
                     make_ready(task)
         finally:
             # Account even on a mid-loop failure (e.g. a duplicate task):
             # everything registered so far is in the graph and possibly
-            # ready, exactly as a submit() loop would have left it.
-            self._unfinished += len(submitted)
-            if submitted:
-                self.stats.add("tasks_submitted", len(submitted))
-        return submitted
+            # ready, exactly as a submit() loop would have left it — and
+            # the pre-extended array tail for never-submitted tasks is
+            # trimmed back off.
+            if n_done != n_new:
+                cut = start + n_done
+                for arr in (
+                    graph_tasks, graph.task_ids, succ_ids, pred_ids,
+                    unfinished_preds, depth_arr, state_arr,
+                    graph.bottom_level, graph.critical, graph._wake_len,
+                ):
+                    del arr[cut:]
+                # The failing task may already hold a mapping/handle into
+                # the trimmed tail (a mid-registration exception lands
+                # after index_of/graph/gid were set); detach it so it is
+                # resubmittable and its properties don't index past the
+                # arrays.  A *duplicate* task maps below the cut and is
+                # left alone.
+                for t in tasks[n_done:]:
+                    g_t = index_of.get(t.task_id)
+                    if g_t is not None and g_t >= cut:
+                        del index_of[t.task_id]
+                        t.graph = None
+                        t.gid = -1
+            graph.n_edges += n_edges
+            self._unfinished += n_done
+            if n_done:
+                self.stats.add("tasks_submitted", n_done)
+        return tasks if n_done == n_new else tasks[:n_done]
 
     def spawn(self, label: str = "task", **kwargs) -> Task:
         """Create-and-submit shorthand mirroring ``#pragma omp task``."""
@@ -241,22 +322,27 @@ class Runtime:
                     task.submit_time, self._make_ready, task
                 )
             return
-        task.state = TaskState.READY
+        gid = task.gid
+        self.graph.state[gid] = TaskState.READY
         task.ready_time = now
-        self._pending_ready.append(task)
+        self._pending_ready.append(gid)
         self._schedule_dispatch()
 
     def _flush_ready(self) -> None:
         pending, self._pending_ready = self._pending_ready, []
-        for task in pending:
-            if self.criticality is not None:
+        graph = self.graph
+        scheduler = self.scheduler
+        criticality = self.criticality
+        n_cores = self.machine.n_cores
+        for gid in pending:
+            if criticality is not None:
                 # Decide criticality with the information available now:
                 # the queued ready set (CATS-style online decision).
-                task.critical = self.criticality.is_critical(
-                    task, self.scheduler.ready_tasks()
+                graph.critical[gid] = criticality.is_critical(
+                    gid, scheduler.ready_ids(), graph
                 )
-            self.scheduler.push(task, hint_core=self._rr_hint)
-            self._rr_hint = (self._rr_hint + 1) % self.machine.n_cores
+            scheduler.push(gid, hint_core=self._rr_hint)
+            self._rr_hint = (self._rr_hint + 1) % n_cores
 
     def _schedule_dispatch(self) -> None:
         if not self._dispatch_scheduled:
@@ -285,25 +371,28 @@ class Runtime:
                 # None, so the rest of the free-set stays idle untouched.
                 still_idle.extend(idle[pos:])
                 break
-            task = scheduler.pop(core_id)
-            if task is None:
+            gid = scheduler.pop(core_id)
+            if gid is None:
                 still_idle.append(core_id)
             else:
-                self._start(task, core_id)
+                self._start(gid, core_id)
         self._idle_cores = still_idle
 
-    def _start(self, task: Task, core_id: int) -> None:
+    def _start(self, gid: int, core_id: int) -> None:
         machine = self.machine
+        graph = self.graph
+        task = graph.tasks[gid]
         now = machine.sim.now
         core = machine.cores[core_id]
-        task.state = TaskState.RUNNING
+        graph.state[gid] = TaskState.RUNNING
         task.core_id = core_id
         task.start_time = now
         core.begin_work(now, work=task)
+        critical = graph.critical[gid]
         stall = 0.0
         freq_hz = core.frequency_hz
         if self.rsu is not None:
-            result = self.rsu.notify_task_start(core_id, task.critical, now)
+            result = self.rsu.notify_task_start(core_id, critical, now)
             stall = result.stall_seconds
             freq_hz = machine.dvfs[result.level].frequency_hz
             self.stats.add("dvfs_stall_seconds", stall)
@@ -318,16 +407,18 @@ class Runtime:
         task.end_time = end
         machine.sim.schedule_at(end, self._complete, task)
         self.stats.add("tasks_started")
-        if task.critical:
+        if critical:
             self.stats.add("critical_tasks_started")
 
     def _complete(self, task: Task) -> None:
         machine = self.machine
+        graph = self.graph
+        gid = task.gid
         now = machine.sim.now
         core = machine.cores[task.core_id]
         core.end_work(now)
         insort(self._idle_cores, task.core_id)
-        task.state = TaskState.FINISHED
+        graph.state[gid] = TaskState.FINISHED
         self._unfinished -= 1
         self.stats.add("tasks_finished")
         # No-trace fast path: with tracing off, no TraceRecord is ever
@@ -342,23 +433,29 @@ class Runtime:
                     start=task.start_time,
                     end=now,
                     frequency_ghz=core.frequency_ghz,
-                    critical=task.critical,
+                    critical=graph.critical[gid],
                 )
             )
         if self.execute_functions and task.fn is not None:
             task.result = task.fn(*task.args, **task.kwargs)
-        # Deterministic wake-up order: successor sets hash by task id, so
-        # raw set iteration would vary across processes/runs.  The sorted
-        # list is cached (pre-computed at taskwait for the whole graph); a
-        # length mismatch means edges were added since, so re-sort.
-        succs = task.succ_order
-        if succs is None or len(succs) != len(task.successors):
-            succs = sorted(task.successors, key=lambda t: t.task_id)
-            task.succ_order = succs
-        for succ in succs:
-            succ.unfinished_preds -= 1
-            if succ.unfinished_preds == 0 and succ.state is TaskState.CREATED:
-                self._make_ready(succ)
+        # Deterministic wake-up order: successor lists are walked in
+        # ascending task_id.  prepare_wake_order sorted every list at
+        # taskwait; a length mismatch means edges were added since, so
+        # re-sort just this list.
+        succs = graph.succ_ids[gid]
+        if succs:
+            if graph._wake_len[gid] != len(succs):
+                succs.sort(key=graph.task_ids.__getitem__)
+                graph._wake_len[gid] = len(succs)
+            unfinished_preds = graph.unfinished_preds
+            state = graph.state
+            tasks = graph.tasks
+            created = TaskState.CREATED
+            make_ready = self._make_ready
+            for s in succs:
+                n = unfinished_preds[s] = unfinished_preds[s] - 1
+                if n == 0 and state[s] is created:
+                    make_ready(tasks[s])
         if self.rsu is not None and self.lower_on_idle:
             self.rsu.notify_task_end(task.core_id, now)
         self._schedule_dispatch()
@@ -376,10 +473,9 @@ class Runtime:
             # One-shot whole-graph criticality preparation (bottom levels /
             # oracle marking) before the first placement decision.
             self.prepare_criticality()
-            # Pre-sort every task's successor list once, instead of
-            # sorted() on every completion in the hot loop.
-            for t in self.graph.tasks:
-                t.succ_order = sorted(t.successors, key=lambda s: s.task_id)
+            # Sort every successor list into wake order once, instead of
+            # sorting on every completion in the hot loop.
+            self.graph.prepare_wake_order()
             self._prepared = True
         while self._unfinished > 0:
             if not sim.step():

@@ -7,6 +7,20 @@ regions it reads and writes (:class:`Region` + :class:`DepKind`), and the
 runtime derives the Task Dependency Graph from those declarations — the
 programmer never names another task.
 
+Task as a thin handle
+---------------------
+A :class:`Task` owns only its *description* (label, cost, declared
+accesses, optional real function) and per-execution bookkeeping
+timestamps.  All graph-structural state — adjacency, ready counts, depth,
+state, criticality — lives in id-keyed arrays on the owning
+:class:`~repro.core.graph.TaskGraph`; ``task.gid`` is the task's dense
+index into those arrays.  The ``predecessors`` / ``successors`` /
+``unfinished_preds`` / ``state`` / ``depth`` / ``bottom_level`` /
+``critical`` attributes remain available as properties that delegate to
+the graph (falling back to local slots while a task is detached), so
+existing user code keeps working; the hot paths in the runtime bypass the
+properties and touch the arrays directly.
+
 Cost model
 ----------
 Simulated tasks carry a first-order execution cost split into a
@@ -25,7 +39,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import TaskGraph
 
 __all__ = ["DepKind", "Region", "Dependence", "Task", "TaskState"]
 
@@ -129,11 +146,11 @@ _task_ids = itertools.count()
 class Task:
     """A schedulable unit of work with declared data accesses.
 
-    ``slots=True``: the runtime touches task attributes (state, counters,
-    timestamps, successor lists) on every dispatch and completion, so
-    fixed slots instead of a per-instance ``__dict__`` shave the hot-path
-    attribute traffic the ROADMAP flags.  Ad-hoc attributes can no longer
-    be attached to tasks; extend the dataclass instead.
+    ``slots=True``: the runtime touches task attributes (timestamps,
+    handle fields) on every dispatch and completion, so fixed slots
+    instead of a per-instance ``__dict__`` shave the hot-path attribute
+    traffic the ROADMAP flags.  Ad-hoc attributes can no longer be
+    attached to tasks; extend the dataclass instead.
 
     Parameters
     ----------
@@ -163,19 +180,23 @@ class Task:
     kwargs: dict = field(default_factory=dict)
     priority: int = 0
 
-    # runtime-managed fields -------------------------------------------------
+    # identity ---------------------------------------------------------------
     task_id: int = field(default_factory=lambda: next(_task_ids))
-    state: TaskState = TaskState.CREATED
-    predecessors: set = field(default_factory=set)
-    successors: set = field(default_factory=set)
-    unfinished_preds: int = 0
-    # criticality analysis results
-    bottom_level: float = 0.0
-    critical: bool = False
-    depth: int = 0
-    # deterministic wake-up order, cached by the runtime once the graph is
-    # complete (invalidated by length mismatch when edges are added later)
-    succ_order: Optional[List["Task"]] = None
+    #: Dense id in the owning graph's struct-of-arrays storage.  ``-1``
+    #: while detached; assigned by :meth:`TaskGraph.add_task` (or, for a
+    #: graphless :class:`~repro.core.deps.DependenceTracker`, a negative
+    #: tracker-local id ``<= -2``).
+    gid: int = -1
+    #: The owning :class:`~repro.core.graph.TaskGraph`, or ``None`` while
+    #: detached.  Set by ``TaskGraph.add_task``.
+    graph: Optional["TaskGraph"] = None
+
+    # detached-task fallbacks for the graph-owned attributes -----------------
+    _state: TaskState = TaskState.CREATED
+    _critical: bool = False
+    _bottom_level: float = 0.0
+    _depth: int = 0
+
     # True once the runtime has scheduled the deferred release of a task
     # whose registration (submit_time) lies in the simulated future
     release_pending: bool = False
@@ -229,6 +250,86 @@ class Task:
             kwargs=kwargs or {},
             priority=priority,
         )
+
+    # ------------------------------------------------------------------
+    # graph-owned state, delegated through the handle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> TaskState:
+        g = self.graph
+        return g.state[self.gid] if g is not None else self._state
+
+    @state.setter
+    def state(self, value: TaskState) -> None:
+        g = self.graph
+        if g is not None:
+            g.state[self.gid] = value
+        else:
+            self._state = value
+
+    @property
+    def critical(self) -> bool:
+        g = self.graph
+        return g.critical[self.gid] if g is not None else self._critical
+
+    @critical.setter
+    def critical(self, value: bool) -> None:
+        g = self.graph
+        if g is not None:
+            g.critical[self.gid] = value
+        else:
+            self._critical = value
+
+    @property
+    def bottom_level(self) -> float:
+        g = self.graph
+        return g.bottom_level[self.gid] if g is not None else self._bottom_level
+
+    @bottom_level.setter
+    def bottom_level(self, value: float) -> None:
+        g = self.graph
+        if g is not None:
+            g.bottom_level[self.gid] = value
+        else:
+            self._bottom_level = value
+
+    @property
+    def depth(self) -> int:
+        g = self.graph
+        return g.depth[self.gid] if g is not None else self._depth
+
+    @depth.setter
+    def depth(self, value: int) -> None:
+        g = self.graph
+        if g is not None:
+            g.depth[self.gid] = value
+        else:
+            self._depth = value
+
+    @property
+    def unfinished_preds(self) -> int:
+        """Ready count: predecessors not yet finished (0 while detached)."""
+        g = self.graph
+        return g.unfinished_preds[self.gid] if g is not None else 0
+
+    @property
+    def predecessors(self) -> Set["Task"]:
+        """Snapshot set of predecessor tasks (a fresh set, not live graph
+        state — mutate the graph through its API, not through this view)."""
+        g = self.graph
+        if g is None:
+            return set()
+        tasks = g.tasks
+        return {tasks[i] for i in g.pred_ids[self.gid]}
+
+    @property
+    def successors(self) -> Set["Task"]:
+        """Snapshot set of successor tasks (see :attr:`predecessors`)."""
+        g = self.graph
+        if g is None:
+            return set()
+        tasks = g.tasks
+        return {tasks[i] for i in g.succ_ids[self.gid]}
 
     # ------------------------------------------------------------------
     def duration_at(self, frequency_hz: float) -> float:

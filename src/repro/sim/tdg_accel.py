@@ -38,26 +38,37 @@ __all__ = [
 class SubmissionModel:
     """Cost of registering one task's dependences on the master thread.
 
-    ``register_seconds = base_s + per_dep_s * n_deps [+ per_match_s * k]``.
+    ``register_seconds = base_s + per_dep_s * n_deps
+    [+ per_match_s * k] [+ per_edge_s * e]``.
 
     The optional ``per_match_s`` term mirrors the software tracker's real
     work profile: with an interval-indexed access history, registration
     costs O(log n) per declared dependence plus O(k) in the k earlier
     accesses it overlaps — exactly the matches a hardware task-superscalar
-    unit resolves in its dependence-matching pipeline.  The runtime feeds
-    the tracker's measured match count per registration; the default of
-    0.0 keeps the classic flat-cost model bit-for-bit unchanged.
+    unit resolves in its dependence-matching pipeline.  The optional
+    ``per_edge_s`` term prices TDG *edge insertion* separately: the
+    id-keyed graph core reports how many new edges each registration
+    actually produced (``TaskGraph.add_edges_to``'s return value), which
+    is the adjacency-update traffic a hardware task manager's dependence
+    table absorbs.  The runtime feeds the tracker's measured match count
+    and the graph's measured edge count per registration; the defaults of
+    0.0 keep the classic flat-cost model bit-for-bit unchanged.
     """
 
     base_s: float
     per_dep_s: float
     name: str = "submission"
     per_match_s: float = 0.0
+    per_edge_s: float = 0.0
 
-    def register_seconds(self, n_deps: int, n_matches: int = 0) -> float:
+    def register_seconds(
+        self, n_deps: int, n_matches: int = 0, n_edges: int = 0
+    ) -> float:
         cost = self.base_s + self.per_dep_s * n_deps
         if self.per_match_s and n_matches:
             cost += self.per_match_s * n_matches
+        if self.per_edge_s and n_edges:
+            cost += self.per_edge_s * n_edges
         return cost
 
 
@@ -104,17 +115,25 @@ def granularity_sweep(
     """Same total work, split ever finer; software vs hardware submission.
 
     Returns ``{model: {n_tasks: parallel_efficiency}}`` where efficiency is
-    ideal makespan over measured makespan.  The software path collapses
-    once per-task work approaches the registration cost; the hardware path
-    sustains orders-of-magnitude finer grains — the case for building TDG
-    support into the architecture.
+    ideal makespan over measured makespan.  Three curves: the classic
+    flat-cost software path collapses once per-task work approaches the
+    registration cost; the interval-indexed software path
+    (:func:`IndexedSoftwareSubmission`, priced per real tracker match via
+    ``per_match_s``) pushes the cliff roughly one grain size finer but
+    still serialises on the master; the hardware path sustains
+    orders-of-magnitude finer grains — the case for building TDG support
+    into the architecture.
     """
     from ..core.runtime import Runtime
     from ..core.task import Task
     from .machine import Machine
 
     out: Dict[str, Dict[int, float]] = {}
-    for model in (SoftwareSubmission(), HardwareSubmission()):
+    for model in (
+        SoftwareSubmission(),
+        IndexedSoftwareSubmission(),
+        HardwareSubmission(),
+    ):
         curve: Dict[int, float] = {}
         for n_tasks in grains:
             machine = Machine(n_cores, initial_level=2)

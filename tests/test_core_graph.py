@@ -69,14 +69,44 @@ class TestStructure:
         g.add_task(a)
         g.add_task(b)
         g.add_edge(a, b)
-        # Force a cycle behind the API's back.
-        a.predecessors.add(b)
-        b.successors.add(a)
+        # Force a cycle behind the API's back, directly in the id arrays.
+        g.pred_ids[a.gid].append(b.gid)
+        g.succ_ids[b.gid].append(a.gid)
         with pytest.raises(CycleError):
             g.topological_order()
 
     def test_validate_passes_on_good_graph(self):
         g, _ = diamond()
+        g.validate()
+
+    def test_add_edges_to_accepts_one_shot_iterator(self):
+        """A generator of pred ids must not be half-consumed: both the
+        succ-append loop and the pred-list fill need every id."""
+        g = TaskGraph()
+        a, b, s = Task.make("a"), Task.make("b"), Task.make("s")
+        for t in (a, b, s):
+            g.add_task(t)
+        added = g.add_edges_to(iter([a.gid, b.gid]), s.gid)
+        assert added == 2
+        assert sorted(g.pred_ids[s.gid]) == sorted([a.gid, b.gid])
+        assert g.unfinished_preds[s.gid] == 2
+        g.validate()
+
+    def test_add_edges_to_incremental_dedups(self):
+        """A second id-keyed bulk insert against a succ that already has
+        predecessors must probe membership and only add the new edges."""
+        g = TaskGraph()
+        preds = [Task.make(f"p{i}") for i in range(3)]
+        succ = Task.make("s")
+        for t in preds + [succ]:
+            g.add_task(t)
+        assert g.add_edges_to([preds[0].gid, preds[1].gid], succ.gid) == 2
+        # Overlapping second batch: one duplicate, one new.
+        assert g.add_edges_to([preds[1].gid, preds[2].gid], succ.gid) == 1
+        assert g.n_edges == 3
+        assert succ.unfinished_preds == 3
+        assert sorted(g.pred_ids[succ.gid]) == [p.gid for p in preds]
+        assert g.depth[succ.gid] == 1
         g.validate()
 
 

@@ -120,6 +120,34 @@ class TestBasicExecution:
         assert res.makespan == pytest.approx(1.5)
 
 
+class TestSchedulerIsActuallyUsed:
+    """Regression: schedulers are falsy while empty (``__bool__`` is the
+    dispatcher's O(1) work check), so ``scheduler or FifoScheduler()``
+    silently replaced every user-provided scheduler with FIFO — nulling
+    the scheduler axis of all sweeps.  The runtime must keep the exact
+    object it was given."""
+
+    def test_provided_scheduler_instance_kept(self):
+        from repro.core.schedulers import LifoScheduler
+
+        sched = LifoScheduler()
+        rt = make_runtime(2, scheduler=sched)
+        assert rt.scheduler is sched
+
+    def test_lifo_order_visible_in_schedule(self):
+        from repro.core.schedulers import LifoScheduler
+
+        def first_started(scheduler):
+            rt = make_runtime(1, scheduler=scheduler)
+            tasks = [rt.submit(Task.make(f"t{i}", cpu_cycles=1e6))
+                     for i in range(4)]
+            rt.run()
+            return min(tasks, key=lambda t: t.start_time).label
+
+        assert first_started(FifoScheduler()) == "t0"
+        assert first_started(LifoScheduler()) == "t3"
+
+
 class TestRealFunctionExecution:
     def test_functions_run_in_dataflow_order(self):
         rt = make_runtime(4)
@@ -233,10 +261,10 @@ class ScanDispatchRuntime(Runtime):
         for core in self.machine.cores:
             if core.busy:
                 continue
-            task = self.scheduler.pop(core.core_id)
-            if task is None:
+            gid = self.scheduler.pop(core.core_id)
+            if gid is None:
                 continue
-            self._start(task, core.core_id)
+            self._start(gid, core.core_id)
 
 
 class TestFreeSetDispatchEquivalence:
@@ -362,3 +390,25 @@ class TestSubmitAllFailureConsistency:
         assert rt.stats.get("tasks_submitted") == 2
         res = rt.run()  # the two good tasks still execute to completion
         assert res.n_tasks == 2 and rt._unfinished == 0
+
+    def test_mid_registration_failure_detaches_failing_task(self):
+        """If dependence registration itself raises, the pre-extended
+        array tail is trimmed AND the failing task's handle/index state
+        is rolled back, so it is resubmittable and its properties don't
+        index past the arrays."""
+        machine = Machine(2, initial_level=2)
+        rt = Runtime(machine, record_trace=False)
+        good = Task.make("good", cpu_cycles=1e6, out=["x"])
+        bad = Task.make("bad", cpu_cycles=1e6, in_=["x"])
+        bad.deps.append("not a dependence")  # blows up in the tracker
+        with pytest.raises(AttributeError):
+            rt.submit_all([good, bad])
+        assert rt._unfinished == 1
+        assert len(rt.graph) == 1
+        assert bad.graph is None and bad.gid == -1
+        assert bad.state is not None  # property reads detached fallback
+        # Cleaned up and resubmittable once repaired.
+        bad.deps.pop()
+        rt.submit(bad)
+        res = rt.run()
+        assert res.n_tasks == 2

@@ -1,7 +1,13 @@
-"""Unit tests for ready-queue scheduling policies."""
+"""Unit tests for ready-queue scheduling policies.
+
+Schedulers queue dense task ids against a bound :class:`TaskGraph` view,
+so every test builds a small graph, binds it, and pushes/pops gids; the
+id → Task resolution is checked through ``ready_tasks``.
+"""
 
 import pytest
 
+from repro.core.graph import TaskGraph
 from repro.core.schedulers import (
     BottomLevelScheduler,
     BreadthFirstScheduler,
@@ -14,71 +20,93 @@ from repro.core.schedulers import (
 from repro.core.task import Task
 
 
-def mk(label, **kw):
-    return Task.make(label, **kw)
+def make_view(*labels):
+    """A graph of detached tasks plus their gids, as the scheduler view."""
+    g = TaskGraph()
+    gids = [g.add_task(Task.make(label)) for label in labels]
+    return g, gids
+
+
+def bound(scheduler, graph):
+    scheduler.bind(graph)
+    return scheduler
 
 
 class TestGlobalQueues:
     def test_fifo_order(self):
-        s = FifoScheduler()
-        a, b = mk("a"), mk("b")
+        g, (a, b) = make_view("a", "b")
+        s = bound(FifoScheduler(), g)
         s.push(a)
         s.push(b)
-        assert s.pop(0) is a
-        assert s.pop(0) is b
+        assert s.pop(0) == a
+        assert s.pop(0) == b
         assert s.pop(0) is None
 
     def test_lifo_order(self):
-        s = LifoScheduler()
-        a, b = mk("a"), mk("b")
+        g, (a, b) = make_view("a", "b")
+        s = bound(LifoScheduler(), g)
         s.push(a)
         s.push(b)
-        assert s.pop(0) is b
+        assert s.pop(0) == b
 
     def test_breadth_first_prefers_shallow(self):
-        s = BreadthFirstScheduler()
-        deep, shallow = mk("deep"), mk("shallow")
-        deep.depth, shallow.depth = 5, 1
+        g, (deep, shallow) = make_view("deep", "shallow")
+        g.depth[deep], g.depth[shallow] = 5, 1
+        s = bound(BreadthFirstScheduler(), g)
         s.push(deep)
         s.push(shallow)
-        assert s.pop(0) is shallow
+        assert s.pop(0) == shallow
 
     def test_bottom_level_prefers_long_chains(self):
-        s = BottomLevelScheduler()
-        short, long_ = mk("short"), mk("long")
-        short.bottom_level, long_.bottom_level = 1.0, 10.0
+        g, (short, long_) = make_view("short", "long")
+        g.bottom_level[short], g.bottom_level[long_] = 1.0, 10.0
+        s = bound(BottomLevelScheduler(), g)
         s.push(short)
         s.push(long_)
-        assert s.pop(0) is long_
+        assert s.pop(0) == long_
+
+    def test_heap_scheduler_requires_bind(self):
+        s = BreadthFirstScheduler()
+        with pytest.raises(RuntimeError, match="bind"):
+            s.push(0)
 
     def test_len_and_bool(self):
-        s = FifoScheduler()
+        g, (a,) = make_view("a")
+        s = bound(FifoScheduler(), g)
         assert not s
-        s.push(mk("a"))
+        s.push(a)
         assert len(s) == 1 and s
+
+    def test_ready_tasks_resolves_handles(self):
+        g, (a, b) = make_view("a", "b")
+        s = bound(FifoScheduler(), g)
+        s.push(b)
+        s.push(a)
+        assert [t.label for t in s.ready_tasks()] == ["b", "a"]
 
 
 class TestWorkStealing:
     def test_owner_pops_lifo(self):
-        s = WorkStealingScheduler(2)
-        a, b = mk("a"), mk("b")
+        g, (a, b) = make_view("a", "b")
+        s = bound(WorkStealingScheduler(2), g)
         s.push(a, hint_core=0)
         s.push(b, hint_core=0)
-        assert s.pop(0) is b
+        assert s.pop(0) == b
 
     def test_steal_takes_oldest_from_fullest(self):
-        s = WorkStealingScheduler(3)
-        a, b = mk("a"), mk("b")
+        g, (a, b) = make_view("a", "b")
+        s = bound(WorkStealingScheduler(3), g)
         s.push(a, hint_core=0)
         s.push(b, hint_core=0)
         got = s.pop(2)  # empty deque -> steal
-        assert got is a  # FIFO steal
+        assert got == a  # FIFO steal
         assert s.steals == 1
 
     def test_round_robin_distribution_without_hint(self):
-        s = WorkStealingScheduler(2)
-        for i in range(4):
-            s.push(mk(f"t{i}"))
+        g, gids = make_view("t0", "t1", "t2", "t3")
+        s = bound(WorkStealingScheduler(2), g)
+        for gid in gids:
+            s.push(gid)
         # two per deque
         assert len(s) == 4
         assert s.pop(0) is not None and s.pop(1) is not None
@@ -94,53 +122,60 @@ class TestWorkStealing:
 
 class TestCriticalityAware:
     def test_critical_queue_preferred(self):
-        s = CriticalityAwareScheduler()
-        normal, crit = mk("n"), mk("c")
-        crit.critical = True
+        g, (normal, crit) = make_view("n", "c")
+        g.critical[crit] = True
+        s = bound(CriticalityAwareScheduler(), g)
         s.push(normal)
         s.push(crit)
-        assert s.pop(0) is crit
-        assert s.pop(0) is normal
+        assert s.pop(0) == crit
+        assert s.pop(0) == normal
 
     def test_slow_cores_prefer_normal_queue(self):
-        s = CriticalityAwareScheduler(
-            is_fast_core=lambda c: c == 0, prefer_critical_everywhere=False
+        g, (normal, crit) = make_view("n", "c")
+        g.critical[crit] = True
+        s = bound(
+            CriticalityAwareScheduler(
+                is_fast_core=lambda c: c == 0, prefer_critical_everywhere=False
+            ),
+            g,
         )
-        normal, crit = mk("n"), mk("c")
-        crit.critical = True
         s.push(normal)
         s.push(crit)
-        assert s.pop(1) is normal  # slow core
-        assert s.pop(0) is crit  # fast core
+        assert s.pop(1) == normal  # slow core
+        assert s.pop(0) == crit  # fast core
 
     def test_fast_core_falls_back_to_normal(self):
-        s = CriticalityAwareScheduler(is_fast_core=lambda c: True,
-                                      prefer_critical_everywhere=False)
-        n = mk("n")
+        g, (n,) = make_view("n")
+        s = bound(
+            CriticalityAwareScheduler(is_fast_core=lambda c: True,
+                                      prefer_critical_everywhere=False),
+            g,
+        )
         s.push(n)
-        assert s.pop(0) is n
+        assert s.pop(0) == n
 
-    def test_ready_tasks_sees_both_queues(self):
-        s = CriticalityAwareScheduler()
-        a, b = mk("a"), mk("b")
-        b.critical = True
+    def test_ready_ids_sees_both_queues(self):
+        g, (a, b) = make_view("a", "b")
+        g.critical[b] = True
+        s = bound(CriticalityAwareScheduler(), g)
         s.push(a)
         s.push(b)
-        assert len(list(s.ready_tasks())) == 2
+        assert sorted(s.ready_ids()) == sorted([a, b])
 
 
 class TestStatic:
     def test_round_robin_assignment_is_fixed(self):
-        s = StaticScheduler(2)
-        tasks = [mk(f"t{i}") for i in range(4)]
-        for t in tasks:
-            s.push(t)
-        assert s.pop(0) is tasks[0]
-        assert s.pop(1) is tasks[1]
-        assert s.pop(0) is tasks[2]
-        assert s.pop(1) is tasks[3]
+        g, gids = make_view("t0", "t1", "t2", "t3")
+        s = bound(StaticScheduler(2), g)
+        for gid in gids:
+            s.push(gid)
+        assert s.pop(0) == gids[0]
+        assert s.pop(1) == gids[1]
+        assert s.pop(0) == gids[2]
+        assert s.pop(1) == gids[3]
 
     def test_no_stealing_across_queues(self):
-        s = StaticScheduler(2)
-        s.push(mk("t0"))  # goes to core 0
+        g, (t0,) = make_view("t0")
+        s = bound(StaticScheduler(2), g)
+        s.push(t0)  # goes to core 0
         assert s.pop(1) is None

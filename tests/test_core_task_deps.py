@@ -176,6 +176,34 @@ class TestDependenceTracker:
         r = Task.make("r", in_=["x", "y"])
         assert edges_of(tr, r) == {("wx", "r"), ("wy", "r")}
 
+    def test_tracker_rejects_tasks_from_two_graphs(self):
+        """Member dicts key by gid, which is graph-local: mixing graphs
+        would silently collide ids, so it must raise instead."""
+        from repro.core.graph import TaskGraph
+
+        g1, g2 = TaskGraph(), TaskGraph()
+        w = Task.make("w", out=["x"])
+        r = Task.make("r", in_=["x"])
+        g1.add_task(w)  # gid 0 in g1
+        g2.add_task(r)  # gid 0 in g2
+        tr = DependenceTracker()
+        tr.register(w)
+        with pytest.raises(ValueError, match="one DependenceTracker"):
+            tr.register(r)
+
+    def test_tracker_mixes_one_graph_with_detached_tasks(self):
+        """Graph gids (>= 0) and tracker-local detached ids (<= -2)
+        never collide, so one graph plus detached tasks is fine."""
+        from repro.core.graph import TaskGraph
+
+        g = TaskGraph()
+        w = Task.make("w", out=["x"])
+        g.add_task(w)
+        tr = DependenceTracker()
+        tr.register(w)
+        r = Task.make("r", in_=["x"])  # detached
+        assert edges_of(tr, r) == {("w", "r")}
+
 
 class TestTaskSlots:
     """Task is slotted: fixed attribute set, still picklable/hashable."""
@@ -202,5 +230,17 @@ class TestTaskSlots:
         t = Task.make("t")
         t.critical = True
         t.bottom_level = 4.2
-        t.succ_order = []
         assert t.critical and t.bottom_level == 4.2
+
+    def test_graph_owned_fields_delegate_once_attached(self):
+        from repro.core.graph import TaskGraph
+
+        g = TaskGraph()
+        t = Task.make("t")
+        t.critical = True  # detached: local fallback slot
+        g.add_task(t)
+        assert t.critical  # carried into the graph array
+        t.bottom_level = 2.5
+        assert g.bottom_level[t.gid] == 2.5  # setter hits the array
+        g.critical[t.gid] = False
+        assert t.critical is False  # getter reads the array

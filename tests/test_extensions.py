@@ -57,6 +57,43 @@ class TestSubmissionModels:
         assert sw[8192] < 0.4
         assert hw[8192] > 2 * sw[8192]
 
+    def test_indexed_software_curve_sits_between(self):
+        """The interval-indexed software model (priced per real tracker
+        match) closes part of the gap to hardware task management at
+        every grain — but not all of it: the master thread still
+        serialises registration, so the fine-grain cliff remains."""
+        sweep = granularity_sweep(
+            total_work_cycles=5e7, grains=(64, 1024, 8192), n_cores=16
+        )
+        sw, ix, hw = (
+            sweep["software"], sweep["software-indexed"], sweep["hardware"]
+        )
+        for g in (64, 1024, 8192):
+            assert sw[g] <= ix[g] + 1e-9
+            assert ix[g] <= hw[g] + 1e-9
+        assert ix[1024] > sw[1024] + 0.05  # visible mid-grain win
+        assert ix[8192] < 0.5  # cliff not eliminated
+
+    def test_per_edge_pricing_from_graph_counters(self):
+        """``per_edge_s`` charges the graph's *actual* new-edge count per
+        registration: a 3-predecessor join pays 3 edge insertions, an
+        independent task pays none."""
+        from repro.sim.tdg_accel import SubmissionModel
+
+        model = SubmissionModel(
+            base_s=1e-6, per_dep_s=0.0, per_edge_s=1e-3
+        )
+        machine = Machine(2, initial_level=2)
+        rt = Runtime(machine, submission=model, record_trace=False)
+        for name in "abc":
+            rt.submit(Task.make(name, cpu_cycles=1e6, out=[name]))
+        base = rt.stats.get("submission_seconds")
+        assert base == pytest.approx(3e-6)  # no edges yet
+        rt.submit(Task.make("join", cpu_cycles=1e6, in_=["a", "b", "c"]))
+        joined = rt.stats.get("submission_seconds")
+        assert joined - base == pytest.approx(1e-6 + 3e-3)
+        rt.run()
+
 
 class TestRuntimePrefetcher:
     def test_hidden_fraction_saturates(self):
