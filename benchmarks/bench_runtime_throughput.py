@@ -14,19 +14,29 @@ the numbers here and the tracked JSONL artifacts of
 records.  The ``--scale`` axis (tasks/s vs graph size) catches
 superlinear regressions that a single fixed size hides.
 
+``--stream`` switches to the steady-state harness: rolling
+:func:`~repro.apps.dag_workloads.stream_window` windows over a bounded
+buffer ring, executed under watermark pruning (``Runtime(prune_every=N)``).
+Alongside tasks/s it reports — and asserts — the memory-bound trajectory:
+peak ``tracker.live_regions`` stays within the ring, and peak live graph
+handles stay within a window + watermark of tasks no matter how many
+windows stream through.
+
 Run under pytest (``pytest benchmarks/bench_runtime_throughput.py``)
 or standalone::
 
     PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --scale 1,2,4
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --stream
 """
 
 from __future__ import annotations
 
 import argparse
+import resource
 import time
 from typing import Sequence
 
-from repro.apps.dag_workloads import WORKLOADS, make_workload
+from repro.apps.dag_workloads import WORKLOADS, make_workload, stream_window
 from repro.campaign import run_campaign
 from repro.campaign.presets import build_preset
 from repro.core.runtime import Runtime
@@ -39,6 +49,13 @@ FAMILIES = tuple(sorted(WORKLOADS))
 N_CORES = 16
 SCALE = 2
 SEED = 1
+
+# Steady-state streaming defaults: ~40 windows x 512 tasks over a
+# 64-buffer ring, pruning every 256 completions.
+STREAM_WINDOWS = 40
+STREAM_WINDOW_TASKS = 512
+STREAM_BUFFERS = 64
+STREAM_PRUNE_EVERY = 256
 
 
 def run_family(name: str, scale: int = SCALE, seed: int = SEED):
@@ -102,6 +119,110 @@ def report(scales: Sequence[int] = (SCALE,), workers: int = 1):
     return summary
 
 
+def run_stream(
+    windows: int = STREAM_WINDOWS,
+    window_tasks: int = STREAM_WINDOW_TASKS,
+    n_buffers: int = STREAM_BUFFERS,
+    prune_every: int = STREAM_PRUNE_EVERY,
+    n_cores: int = N_CORES,
+    seed: int = SEED,
+):
+    """Steady-state streaming run; returns a metrics dict.
+
+    Submits ``windows`` rolling windows with a taskwait between them
+    (the ingest-pipeline pattern) and samples the memory-bound telemetry
+    after every window: ``live_regions`` (tracker histories),
+    ``live_handles`` (graph Task references) and tracker member entries.
+    With ``prune_every=0`` the same harness measures the unpruned
+    baseline — handles then grow linearly with every window.
+    """
+    machine = Machine(n_cores, initial_level=2)
+    rt = Runtime(
+        machine,
+        scheduler=FifoScheduler(),
+        record_trace=False,
+        prune_every=prune_every,
+    )
+    peak_regions = 0
+    peak_handles = 0
+    peak_members = 0
+    total = 0
+    t0 = time.perf_counter()
+    for w in range(windows):
+        tasks = stream_window(
+            w, n_buffers=n_buffers, n_tasks=window_tasks, seed=seed
+        )
+        rt.submit_all(tasks)
+        rt.taskwait()
+        total += len(tasks)
+        del tasks  # the harness itself must not pin retired handles
+        tracker = rt.tracker
+        if tracker.live_regions > peak_regions:
+            peak_regions = tracker.live_regions
+        if tracker.live_members > peak_members:
+            peak_members = tracker.live_members
+        handles = rt.graph.live_handles()
+        if handles > peak_handles:
+            peak_handles = handles
+    host_s = time.perf_counter() - t0
+    rt.tracker.invalidate_region_caches()
+    return {
+        "windows": windows,
+        "n_tasks": total,
+        "host_s": host_s,
+        "tasks_per_sec": total / host_s if host_s > 0 else 0.0,
+        "peak_live_regions": peak_regions,
+        "peak_live_handles": peak_handles,
+        "peak_members": peak_members,
+        "final_live_handles": rt.graph.live_handles(),
+        "prune_passes": rt.stats.get("prune_passes"),
+        "maxrss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        "makespan": machine.sim.now,
+    }
+
+
+def report_stream(**kwargs):
+    metrics = run_stream(**kwargs)
+    banner(
+        f"Steady-state streaming — {metrics['windows']} windows, "
+        f"{metrics['n_tasks']} tasks, prune_every="
+        f"{kwargs.get('prune_every', STREAM_PRUNE_EVERY)}"
+    )
+    table(
+        ["tasks", "host time", "throughput", "peak regions",
+         "peak handles", "final handles", "maxrss"],
+        [[
+            metrics["n_tasks"],
+            f"{metrics['host_s'] * 1e3:.1f} ms",
+            f"{metrics['tasks_per_sec']:,.0f} tasks/s",
+            metrics["peak_live_regions"],
+            metrics["peak_live_handles"],
+            metrics["final_live_handles"],
+            f"{metrics['maxrss_mb']:.0f} MB",
+        ]],
+    )
+    return metrics
+
+
+def test_streaming_bounded():
+    """Watermark pruning bounds tracker regions AND live Task handles."""
+    metrics = run_stream(windows=12)
+    # The buffer ring bounds the region namespace...
+    assert metrics["peak_live_regions"] <= STREAM_BUFFERS
+    # ...and pruning bounds retained handles to a window + watermark,
+    # independent of how many windows streamed through.
+    assert (
+        metrics["peak_live_handles"]
+        <= STREAM_WINDOW_TASKS + STREAM_PRUNE_EVERY
+    )
+    assert metrics["final_live_handles"] <= STREAM_PRUNE_EVERY
+    # Control: without pruning the graph pins every task ever submitted.
+    unpruned = run_stream(windows=4, prune_every=0)
+    assert unpruned["peak_live_handles"] == 4 * STREAM_WINDOW_TASKS
+    # Pruning must not change the simulated outcome.
+    assert unpruned["makespan"] > 0
+
+
 def test_runtime_throughput(benchmark):
     benchmark.pedantic(run_family, args=("layered",), rounds=1, iterations=1)
     summary = report(scales=(1, 2))
@@ -140,6 +261,28 @@ if __name__ == "__main__":
         help="comma-separated graph-scale list, e.g. 1,2,4 (default: 2)",
     )
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="run the steady-state streaming harness instead of the "
+        "family x scale sweep",
+    )
+    parser.add_argument("--windows", type=int, default=STREAM_WINDOWS)
+    parser.add_argument(
+        "--window-tasks", type=int, default=STREAM_WINDOW_TASKS
+    )
+    parser.add_argument("--buffers", type=int, default=STREAM_BUFFERS)
+    parser.add_argument(
+        "--prune-every", type=int, default=STREAM_PRUNE_EVERY,
+        help="watermark (completions per prune pass); 0 disables pruning",
+    )
     args = parser.parse_args()
-    scale_list = tuple(int(s) for s in args.scale.split(",") if s)
-    report(scales=scale_list, workers=args.workers)
+    if args.stream:
+        report_stream(
+            windows=args.windows,
+            window_tasks=args.window_tasks,
+            n_buffers=args.buffers,
+            prune_every=args.prune_every,
+        )
+    else:
+        scale_list = tuple(int(s) for s in args.scale.split(",") if s)
+        report(scales=scale_list, workers=args.workers)

@@ -24,6 +24,16 @@ Costs follow the paper's first-order model: a ``mem_ratio`` knob splits
 each task's reference-time budget between frequency-scaling compute cycles
 and frequency-insensitive memory seconds, so the same topology can be run
 compute-bound (DVFS-sensitive) or memory-bound (DVFS-insensitive).
+
+Regions are **interned** (:meth:`repro.core.task.Region.interned`): a
+tile or layer slot touched by many tasks is one canonical ``Region``
+instance, so builders allocate no duplicate region objects and the
+dependence tracker's identity cache hits on every repeat access — the
+submission-path constant factor ROADMAP open item 2 targeted.
+
+:func:`stream_window` is the steady-state companion: rolling windows of
+tasks over a bounded ring of buffers, the workload shape the runtime's
+watermark pruning (``prune_every``) is designed for.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.task import Task
+from ..core.task import Region, Task
 
 __all__ = [
     "random_layered",
@@ -40,9 +50,12 @@ __all__ = [
     "lu_tiles",
     "fork_join_ladder",
     "pipeline_grid",
+    "stream_window",
     "WORKLOADS",
     "make_workload",
 ]
+
+_R = Region.interned
 
 #: Frequency at which ``cpu_cycles`` and ``mem_seconds`` budgets are
 #: interchangeable (matches Task.reference_work).
@@ -101,7 +114,7 @@ def random_layered(
             if layer > 0:
                 parents = rng.choice(width, size=k, replace=False)
                 deps_in = [
-                    (f"L{layer - 1}", int(p), int(p) + 1)
+                    _R((f"L{layer - 1}", int(p), int(p) + 1))
                     for p in sorted(parents)
                 ]
             tasks.append(
@@ -110,7 +123,7 @@ def random_layered(
                     cpu_cycles=cycles,
                     mem_seconds=mem_s,
                     in_=deps_in,
-                    out=[(f"L{layer}", j, j + 1)],
+                    out=[_R((f"L{layer}", j, j + 1))],
                 )
             )
     return tasks
@@ -119,9 +132,9 @@ def random_layered(
 # ----------------------------------------------------------------------
 # tiled dense factorisations
 # ----------------------------------------------------------------------
-def _tile(i: int, j: int, nt: int) -> Tuple[str, int, int]:
+def _tile(i: int, j: int, nt: int) -> Region:
     idx = i * nt + j
-    return ("A", idx, idx + 1)
+    return _R(("A", idx, idx + 1))
 
 
 def cholesky_tiles(
@@ -268,11 +281,11 @@ def fork_join_ladder(
                     f"fork{d}.{w}",
                     cpu_cycles=cycles,
                     mem_seconds=mem_s,
-                    in_=[f"round{d}"],
+                    in_=[_R(f"round{d}")],
                     # Per-round partial regions: forks of round d+1 must
                     # not serialise against round d's join (WAR) or each
                     # other.
-                    out=[(f"partial{d}", w, w + 1)],
+                    out=[_R((f"partial{d}", w, w + 1))],
                 )
             )
         join_c, join_m = _split_cost(cpu_cycles / 4.0, mem_ratio)
@@ -281,8 +294,8 @@ def fork_join_ladder(
                 f"join{d}",
                 cpu_cycles=join_c,
                 mem_seconds=join_m,
-                in_=[f"partial{d}"],
-                out=[f"round{d + 1}"],
+                in_=[_R(f"partial{d}")],
+                out=[_R(f"round{d + 1}")],
             )
         )
     return tasks
@@ -313,17 +326,73 @@ def pipeline_grid(
             )
             deps_in = []
             if s > 0:
-                deps_in.append((f"item{i}", s - 1, s))
+                deps_in.append(_R((f"item{i}", s - 1, s)))
             tasks.append(
                 Task.make(
                     f"stage{s}.item{i}",
                     cpu_cycles=cycles,
                     mem_seconds=mem_s,
                     in_=deps_in,
-                    inout=[f"stage_state{s}"],
-                    out=[(f"item{i}", s, s + 1)],
+                    inout=[_R(f"stage_state{s}")],
+                    out=[_R((f"item{i}", s, s + 1))],
                 )
             )
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# streaming windows
+# ----------------------------------------------------------------------
+def stream_window(
+    window: int,
+    n_buffers: int = 64,
+    n_tasks: int = 512,
+    fanin: int = 2,
+    cpu_cycles: float = 1e5,
+    mem_ratio: float = 0.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> List[Task]:
+    """One rolling window of a steady-state streaming workload.
+
+    Task ``j`` of window ``w`` rewrites ring buffer ``(w * n_tasks + j) %
+    n_buffers`` and reads ``fanin`` other buffers chosen by a seeded RNG —
+    the producer/consumer shape of a long-running ingest pipeline.  The
+    buffer namespace is a *bounded ring*, so the dependence tracker's
+    ``live_regions`` stays ≤ ``n_buffers`` no matter how many windows are
+    submitted; what grows without watermark pruning is the strong ``Task``
+    references retired tasks leave behind (member dicts + graph handles),
+    which is exactly what ``Runtime(prune_every=N)`` bounds.
+
+    The RNG is seeded per ``(seed, window)``: submitting windows
+    ``0..k`` always produces the same task stream regardless of how runs
+    interleave, keeping streaming campaigns bit-for-bit reproducible.
+    """
+    if n_buffers < 2:
+        raise ValueError("need at least two ring buffers")
+    if n_tasks < 1:
+        raise ValueError("need at least one task per window")
+    rng = np.random.default_rng((seed, window))
+    k = min(fanin, n_buffers - 1)
+    base = window * n_tasks
+    tasks: List[Task] = []
+    for j in range(n_tasks):
+        out_buf = (base + j) % n_buffers
+        # Read k distinct buffers other than the one being rewritten.
+        reads = rng.choice(n_buffers - 1, size=k, replace=False)
+        cycles, mem_s = _split_cost(cpu_cycles, mem_ratio, rng, jitter)
+        tasks.append(
+            Task.make(
+                f"w{window}.t{j}",
+                cpu_cycles=cycles,
+                mem_seconds=mem_s,
+                in_=[
+                    _R(f"buf{(int(r) + out_buf + 1) % n_buffers}")
+                    for r in reads
+                ],
+                out=[_R(f"buf{out_buf}")],
+            )
+        )
     return tasks
 
 

@@ -14,7 +14,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.task import Task
+from ..core.task import Region, Task
+
+_R = Region.interned
 
 __all__ = [
     "chain",
@@ -30,7 +32,7 @@ __all__ = [
 def chain(n: int, cpu_cycles: float = 1e6, label: str = "link") -> List[Task]:
     """A serial dependence chain of ``n`` tasks."""
     return [
-        Task.make(f"{label}{i}", cpu_cycles=cpu_cycles, inout=["chain_state"])
+        Task.make(f"{label}{i}", cpu_cycles=cpu_cycles, inout=[_R("chain_state")])
         for i in range(n)
     ]
 
@@ -51,16 +53,16 @@ def fork_join(
                 Task.make(
                     f"fork{d}.{w}",
                     cpu_cycles=cpu_cycles,
-                    in_=[f"round{d}"],
-                    out=[("partial", w, w + 1)],
+                    in_=[_R(f"round{d}")],
+                    out=[_R(("partial", w, w + 1))],
                 )
             )
         tasks.append(
             Task.make(
                 f"join{d}",
                 cpu_cycles=cpu_cycles / 4,
-                in_=["partial"],
-                out=[f"round{d + 1}"],
+                in_=[_R("partial")],
+                out=[_R(f"round{d + 1}")],
             )
         )
     return tasks
@@ -75,7 +77,7 @@ def reduction_tree(leaves: int, cpu_cycles: float = 1e6) -> List[Task]:
     for i in range(leaves):
         tasks.append(
             Task.make(
-                f"leaf{i}", cpu_cycles=cpu_cycles, out=[(f"lvl0", i, i + 1)]
+                f"leaf{i}", cpu_cycles=cpu_cycles, out=[_R((f"lvl0", i, i + 1))]
             )
         )
     width = leaves
@@ -87,8 +89,8 @@ def reduction_tree(leaves: int, cpu_cycles: float = 1e6) -> List[Task]:
                 Task.make(
                     f"combine{level}.{i}",
                     cpu_cycles=cpu_cycles / 2,
-                    in_=[(f"lvl{level}", lo, hi)],
-                    out=[(f"lvl{level + 1}", i, i + 1)],
+                    in_=[_R((f"lvl{level}", lo, hi))],
+                    out=[_R((f"lvl{level + 1}", i, i + 1))],
                 )
             )
         width = next_width
@@ -103,15 +105,15 @@ def wavefront(nx: int, ny: int, cpu_cycles: float = 1e6) -> List[Task]:
         for j in range(ny):
             deps_in = []
             if i > 0:
-                deps_in.append((f"row{i - 1}", j, j + 1))
+                deps_in.append(_R((f"row{i - 1}", j, j + 1)))
             if j > 0:
-                deps_in.append((f"row{i}", j - 1, j))
+                deps_in.append(_R((f"row{i}", j - 1, j)))
             tasks.append(
                 Task.make(
                     f"block{i}.{j}",
                     cpu_cycles=cpu_cycles,
                     in_=deps_in,
-                    out=[(f"row{i}", j, j + 1)],
+                    out=[_R((f"row{i}", j, j + 1))],
                 )
             )
     return tasks
@@ -130,14 +132,14 @@ def pipeline(
         for s in range(n_stages):
             deps_in = []
             if s > 0:
-                deps_in.append((f"item{i}", s - 1, s))
+                deps_in.append(_R((f"item{i}", s - 1, s)))
             tasks.append(
                 Task.make(
                     f"stage{s}.item{i}",
                     cpu_cycles=cpu_cycles,
                     in_=deps_in,
-                    inout=[f"stage_state{s}"],
-                    out=[(f"item{i}", s, s + 1)],
+                    inout=[_R(f"stage_state{s}")],
+                    out=[_R((f"item{i}", s, s + 1))],
                 )
             )
     return tasks
@@ -156,7 +158,7 @@ def critical_chain_with_fillers(
     scheduling/DVFS wins by boosting the chain."""
     rng = np.random.default_rng(seed)
     tasks = [
-        Task.make("critical", cpu_cycles=chain_cycles, inout=["chain"])
+        Task.make("critical", cpu_cycles=chain_cycles, inout=[_R("chain")])
         for _ in range(chain_len)
     ]
     for i in range(n_fillers):

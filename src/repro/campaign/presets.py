@@ -157,6 +157,35 @@ def _fig5_parsec() -> Matrix:
     return Matrix("fig5_parsec", tuple(scenarios))
 
 
+#: NAS benchmarks of the Figure 1 hybrid-memory experiment.
+NAS_BENCHES: Tuple[str, ...] = ("CG", "EP", "FT", "IS", "MG", "SP")
+
+
+def _fig1_hybrid(
+    n_cores: int = 64, accesses_per_core: int = 1200
+) -> Matrix:
+    """Figure 1: the six NAS access-mix models on a cache-only vs hybrid
+    SPM+cache hierarchy — the first out-of-engine figure behind the
+    campaign store (``bench_fig1_hybrid_memory`` derives its speedup bars
+    from these records)."""
+    scenarios: List[Scenario] = []
+    for bench in NAS_BENCHES:
+        for mode in ("cache", "hybrid"):
+            scenarios.append(
+                Scenario(
+                    f"nas:{bench}",
+                    scheduler="fifo",  # unused: no task runtime involved
+                    n_cores=n_cores,
+                    seed=0,
+                    params=(
+                        ("mode", mode),
+                        ("accesses_per_core", accesses_per_core),
+                    ),
+                )
+            )
+    return Matrix("fig1_hybrid", tuple(scenarios))
+
+
 def _throughput(scales: Sequence[int] = (1, 2, 4)) -> Matrix:
     """Kernel-throughput trajectory: tasks/s per family vs graph scale
     (the ROADMAP's --scale axis; host timing lives in the records'
@@ -184,6 +213,10 @@ PRESETS: Dict[str, Tuple[str, Callable[[], Matrix]]] = {
     "rsu_comparison": (
         "7 schedulers x RSU off/oracle/heuristic x 5 skewed DAG families",
         _rsu_comparison,
+    ),
+    "fig1_hybrid": (
+        "Fig 1: NAS benchmarks, cache-only vs hybrid SPM memory, 64 cores",
+        _fig1_hybrid,
     ),
     "fig2_rsu": (
         "Sec 3.1: static vs criticality-aware DVFS, 32 cores",

@@ -91,6 +91,41 @@ RSU_MODES: Dict[str, Tuple[Callable[[], object], type]] = {
     "heuristic": (lambda: BottomLevelHeuristic(), RsuDvfsController),
 }
 
+def _run_nas_scenario(scenario: Scenario) -> Tuple[dict, dict]:
+    """Execute a Fig-1 hybrid-memory scenario (``nas:<BENCH>`` family).
+
+    The first out-of-engine figure behind the campaign store: instead of
+    the task runtime, the scenario drives the :mod:`repro.memory`
+    hierarchy through the NAS access-mix models.  ``exec_time_s`` maps
+    onto the ``makespan`` metric (and energy onto ``energy_j``) so the
+    standard ``compare`` gate and report pivots apply unchanged;
+    NoC traffic and memory cycles ride along as extra metrics, and the
+    hierarchy's counter summary lands in ``stats``.
+    """
+    from ..apps.nas import run_nas
+
+    bench = scenario.family.split(":", 1)[1]
+    mode = str(scenario.param("mode", "hybrid"))
+    accesses = int(scenario.param("accesses_per_core", 1200))
+    result = run_nas(
+        bench,
+        mode,
+        n_cores=scenario.n_cores,
+        accesses_per_core=accesses,
+        seed=scenario.seed,
+    )
+    metrics = {
+        "makespan": result.exec_time_s,
+        "energy_j": result.energy_j,
+        "edp": result.exec_time_s * result.energy_j,
+        "n_tasks": scenario.n_cores * accesses,
+        "noc_flit_hops": result.noc_flit_hops,
+        "mem_cycles": result.mem_cycles,
+    }
+    stats = {k: float(v) for k, v in result.summary.items()}
+    return metrics, stats
+
+
 class _TaskCollector:
     """Duck-typed Runtime stand-in for the PARSEC graph builders."""
 
@@ -257,32 +292,43 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
     t0 = time.perf_counter()
     sim_s = 0.0
     tdg_s = 0.0
+    rt = None
     try:
-        tasks = _build_workload(scenario)
-        machine = _build_machine(scenario)
-        rt = _build_runtime(scenario, machine)
-        # Simulation wall time starts at submission, matching the
-        # throughput bench's direct path: graph *generation* cost must
-        # not pollute the tracked tasks/s trajectory (the ROADMAP notes
-        # TDG construction dominates at large scales).  ``tdg_s`` is the
-        # host-side TDG-construction slice of that window — dependence
-        # registration + edge insertion — tracked separately so tracker
-        # regressions are visible even when the event kernel dominates.
-        t_sim = time.perf_counter()
-        rt.submit_all(tasks)
-        tdg_s = time.perf_counter() - t_sim
-        if scenario.scheduler == "bottom_level" and rt.criticality is None:
-            # HLF needs bottom levels even without a criticality policy.
-            rt.graph.compute_bottom_levels()
-        result = rt.run()
-        sim_s = time.perf_counter() - t_sim
-        record["metrics"] = {
-            "makespan": result.makespan,
-            "energy_j": result.energy_j,
-            "edp": result.edp,
-            "n_tasks": result.n_tasks,
-        }
-        record["stats"] = result.stats.as_dict()
+        if scenario.family.startswith("nas:"):
+            # Out-of-engine figure: memory-hierarchy simulation, no task
+            # runtime (and hence no TDG slice in the timing block).
+            t_sim = time.perf_counter()
+            metrics, stats = _run_nas_scenario(scenario)
+            sim_s = time.perf_counter() - t_sim
+            record["metrics"] = metrics
+            record["stats"] = stats
+            record["timing"] = None  # filled below like every record
+        else:
+            tasks = _build_workload(scenario)
+            machine = _build_machine(scenario)
+            rt = _build_runtime(scenario, machine)
+            # Simulation wall time starts at submission, matching the
+            # throughput bench's direct path: graph *generation* cost must
+            # not pollute the tracked tasks/s trajectory (the ROADMAP notes
+            # TDG construction dominates at large scales).  ``tdg_s`` is the
+            # host-side TDG-construction slice of that window — dependence
+            # registration + edge insertion — tracked separately so tracker
+            # regressions are visible even when the event kernel dominates.
+            t_sim = time.perf_counter()
+            rt.submit_all(tasks)
+            tdg_s = time.perf_counter() - t_sim
+            if scenario.scheduler == "bottom_level" and rt.criticality is None:
+                # HLF needs bottom levels even without a criticality policy.
+                rt.graph.compute_bottom_levels()
+            result = rt.run()
+            sim_s = time.perf_counter() - t_sim
+            record["metrics"] = {
+                "makespan": result.makespan,
+                "energy_j": result.energy_j,
+                "edp": result.edp,
+                "n_tasks": result.n_tasks,
+            }
+            record["stats"] = result.stats.as_dict()
     except Exception as exc:  # crash isolation: error rows, not crashes
         record["status"] = "error"
         record["error"] = {
@@ -291,6 +337,13 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
         }
         record["metrics"] = None
         record["stats"] = None
+    finally:
+        # Long-lived workers run many scenarios: sever the interned
+        # regions' back-references into this run's tracker so its
+        # history graph (and every Task it anchors) is collectible —
+        # error scenarios included.
+        if rt is not None:
+            rt.tracker.invalidate_region_caches()
     wall = time.perf_counter() - t0
     n_tasks = (record["metrics"] or {}).get("n_tasks", 0)
     record["timing"] = {

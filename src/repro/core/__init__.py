@@ -8,6 +8,13 @@ machine under a pluggable scheduling policy
 (:mod:`~repro.core.schedulers`, :mod:`~repro.core.runtime`).
 """
 
+from .analytics import (
+    ResidencySummary,
+    critical_path_occupancy,
+    per_depth_latency,
+    ready_queue_residency,
+    timestamp_table,
+)
 from .api import TaskifiedFunction, task
 from .criticality import (
     AnnotatedCriticality,
@@ -29,9 +36,21 @@ from .schedulers import (
     StaticScheduler,
     WorkStealingScheduler,
 )
-from .task import Dependence, DepKind, Region, Task, TaskState
+from .task import (
+    Dependence,
+    DepKind,
+    Region,
+    Task,
+    TaskState,
+    clear_region_intern,
+)
 
 __all__ = [
+    "ResidencySummary",
+    "critical_path_occupancy",
+    "per_depth_latency",
+    "ready_queue_residency",
+    "timestamp_table",
     "TaskifiedFunction",
     "task",
     "AnnotatedCriticality",
@@ -58,4 +77,5 @@ __all__ = [
     "Region",
     "Task",
     "TaskState",
+    "clear_region_intern",
 ]

@@ -39,6 +39,18 @@ region — is a dict hit plus an O(k) walk of exactly the overlapping
 histories, with no scan at all.  The cache stores one entry per
 overlapping *pair*, the same k·n total the queries already pay in time.
 
+On top of the dict hit sits an **identity cache**: after resolving a
+region's history once, the tracker stashes ``(tracker, history)`` on the
+:class:`~repro.core.task.Region` instance itself (``_hist_owner`` /
+``_hist`` slots).  Workload builders intern their regions
+(:meth:`Region.interned`), so every later access through the same
+canonical instance resolves with two attribute loads and an identity
+compare — no name-string hash, no ``(start, stop)`` tuple hash.
+:meth:`DependenceTracker.invalidate_region_caches` severs those
+back-references when a tracker is retired (the campaign runner calls it
+per scenario), so a canonical region never keeps a dead tracker's
+history graph alive.
+
 Compaction keeps the member sets tight: an exact write *replaces* the
 region's writer set (last-writer compaction — earlier readers, writers and
 concurrents are fully ordered before it and can be forgotten), and writer
@@ -51,16 +63,33 @@ on int keys instead of hashing ``Task`` objects through their Python-level
 a predecessor *id* collection — straight to
 :meth:`~repro.core.graph.TaskGraph.add_edges_to` with no Task-set
 materialisation.  Tasks registered outside any graph get tracker-local
-negative ids, so the standalone API keeps working.  Finished tasks can
-additionally be dropped via :meth:`prune_finished`, as in Nanos++.
+negative ids, so the standalone API keeps working.
+
+Watermark pruning (streaming mode)
+----------------------------------
+:meth:`prune_finished` retires finished tasks from the member dicts so a
+runtime that streams millions of tasks does not accrete history, as in
+Nanos++.  Pruning is **execution-equivalent** by construction: a removed
+member could only ever have sourced edges *from a finished task*, which
+never change readiness (finished predecessors don't count towards
+``unfinished_preds``) — but they do feed the successor's ``depth``, which
+the breadth-first scheduler orders by.  Each history therefore keeps one
+**ghost depth** per member kind (the max ``depth + 1`` over members
+pruned from it), reset exactly where the member dicts themselves are
+reset (last-writer compaction), and :meth:`register_preds` folds the
+ghosts of every consulted history into ``last_depth_floor`` so the
+runtime reproduces bit-for-bit the depth the un-pruned edges would have
+produced.  Kept last-writer entries drop their strong ``Task`` reference
+(value becomes ``None``; the gid key and the graph's arrays carry
+everything edge insertion needs), so retired tasks are collectible.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from .task import DepKind, Task
+from .task import DepKind, Task, TaskState
 
 __all__ = ["DependenceTracker"]
 
@@ -86,16 +115,34 @@ class _RegionHistory:
     ``overlaps`` is the cached list of histories whose region overlaps this
     one — *including itself* — maintained symmetrically as new regions are
     indexed.
+
+    ``ghost_w`` / ``ghost_r`` / ``ghost_c`` are the pruning ghosts: the
+    maximum ``depth + 1`` over members of that kind removed by
+    :meth:`DependenceTracker.prune_finished`, preserving the depth
+    contribution the removed (always finished, hence readiness-neutral)
+    edges would have made.  They reset together with the member dicts on
+    last-writer compaction.
     """
 
-    __slots__ = ("start", "stop", "writers", "readers", "concurrents", "overlaps")
+    __slots__ = (
+        "start", "stop", "writers", "readers", "concurrents", "overlaps",
+        "ghost_w", "ghost_r", "ghost_c",
+    )
 
     def __init__(self, start: int, stop: int) -> None:
         self.start = start
         self.stop = stop
-        self.writers: Dict[int, Task] = {}
-        self.readers: Dict[int, Task] = {}
-        self.concurrents: Dict[int, Task] = {}
+        # Member dicts are lazy: ``None`` until the first member of that
+        # kind arrives (and reset back to ``None`` by compaction), so a
+        # fresh history costs zero dict allocations.  Invariant: a member
+        # dict is either ``None`` or non-empty, which keeps every
+        # truthiness guard on the hot path working unchanged.
+        self.writers: Optional[Dict[int, Optional[Task]]] = None
+        self.readers: Optional[Dict[int, Optional[Task]]] = None
+        self.concurrents: Optional[Dict[int, Optional[Task]]] = None
+        self.ghost_w = 0
+        self.ghost_r = 0
+        self.ghost_c = 0
         # ``overlaps`` is filled by _insert_history immediately after
         # construction (not allocated here: one fewer list per region).
 
@@ -103,7 +150,10 @@ class _RegionHistory:
 class _NameIndex:
     """The two-tier interval index of one region name."""
 
-    __slots__ = ("starts", "stops", "hists", "max_len", "longs", "exact")
+    __slots__ = (
+        "starts", "stops", "hists", "max_len", "longs", "exact",
+        "append_tail",
+    )
 
     def __init__(self) -> None:
         self.starts: List[int] = []
@@ -112,6 +162,13 @@ class _NameIndex:
         self.max_len = 0
         self.longs: List[_RegionHistory] = []
         self.exact: Dict[Tuple[int, int], _RegionHistory] = {}
+        # While every insertion under this name has arrived in ascending,
+        # mutually disjoint order (layer slots, ring buffers, per-round
+        # partials), ``append_tail`` is the exclusive high-water stop and
+        # a new region starting at/after it provably overlaps nothing —
+        # no bisects, no window scan.  Set to None forever on the first
+        # violation (or any long-tier insert).
+        self.append_tail: Optional[int] = -(1 << 62)
 
 
 class DependenceTracker:
@@ -123,7 +180,17 @@ class DependenceTracker:
     Instrumented counters (``scan_probes``, ``scan_matches``) expose how
     much index work registrations did, which the scale-regression tests
     pin to stay linear in the task count.
+
+    ``__slots__``: every registration read-modify-writes several counters
+    and loads ``_by_name``/``_graph``/``_pruned``; fixed slots keep those
+    off a per-instance ``__dict__`` on the submission hot path.
     """
+
+    __slots__ = (
+        "_by_name", "_next_detached", "_graph", "_pruned", "edges_added",
+        "scan_probes", "scan_matches", "last_matches", "last_depth_floor",
+        "refs_released",
+    )
 
     def __init__(self) -> None:
         self._by_name: Dict[str, _NameIndex] = {}
@@ -135,6 +202,9 @@ class DependenceTracker:
         # The one TaskGraph whose gids this tracker has seen (gids are
         # graph-local, so mixing graphs is rejected in register_preds).
         self._graph = None
+        # Becomes True after the first prune_finished call; gates the
+        # ghost-depth bookkeeping out of the never-pruned hot path.
+        self._pruned = False
         self.edges_added = 0
         #: Candidate histories examined by insertion scans so far
         #: (including window false positives) — index efficiency metric.
@@ -145,15 +215,57 @@ class DependenceTracker:
         #: Matches of the most recent register call (consumed by the
         #: runtime's submission-cost model).
         self.last_matches = 0
+        #: Depth floor of the most recent register call: the max ghost
+        #: depth of every consulted history, i.e. the depth the pruned
+        #: (finished, readiness-neutral) edges would have induced.  The
+        #: runtime folds it into ``graph.depth`` right after edge
+        #: insertion; 0 unless pruning has run.
+        self.last_depth_floor = 0
+        #: Strong Task references dropped by pruning so far (kept
+        #: last-writer entries whose value became None).
+        self.refs_released = 0
 
     # ------------------------------------------------------------------
     def _insert_history(
-        self, entry: _NameIndex, qstart: int, qstop: int
+        self,
+        entry: _NameIndex,
+        qstart: int,
+        qstop: int,
+        key: Optional[Tuple[int, int]] = None,
     ) -> _RegionHistory:
         """Index a new exact region: scan once, then cache the overlap set
-        on the new history and symmetrically on everything it overlaps."""
-        h = _RegionHistory(qstart, qstop)
-        entry.exact[(qstart, qstop)] = h
+        on the new history and symmetrically on everything it overlaps.
+
+        ``key`` lets the caller pass the already-built ``(qstart, qstop)``
+        tuple from its failed ``exact`` probe instead of re-building it.
+        """
+        # __new__ + inline stores: this runs once per distinct region and
+        # the __init__ frame was a measurable slice of insertion cost.
+        h = _RegionHistory.__new__(_RegionHistory)
+        h.start = qstart
+        h.stop = qstop
+        h.writers = None
+        h.readers = None
+        h.concurrents = None
+        h.ghost_w = h.ghost_r = h.ghost_c = 0
+        entry.exact[key if key is not None else (qstart, qstop)] = h
+        length = qstop - qstart
+        tail = entry.append_tail
+        if tail is not None:
+            if qstart >= tail and length < _LONG_LEN:
+                # Ascending-disjoint append (layer slots, ring buffers,
+                # per-round partials): every indexed region stops at or
+                # before ``tail`` <= qstart, so nothing can overlap — no
+                # bisects, no window scan, pure appends.
+                h.overlaps = [h]
+                entry.starts.append(qstart)
+                entry.stops.append(qstop)
+                entry.hists.append(h)
+                entry.append_tail = qstop
+                if length > entry.max_len:
+                    entry.max_len = length
+                return h
+            entry.append_tail = None
         found: List[_RegionHistory] = []
         starts = entry.starts
         lo = bisect_left(starts, qstart - entry.max_len)
@@ -173,11 +285,13 @@ class DependenceTracker:
                 other.overlaps.append(h)
         found.append(h)
         h.overlaps = found
-        length = qstop - qstart
         if length >= _LONG_LEN:
             entry.longs.append(h)
         else:
-            i = bisect_left(starts, qstart)
+            # qstart's insertion point lies inside the scan window
+            # (entries below lo start before qstart - max_len; entries at
+            # hi and beyond start after qstop - 1 >= qstart).
+            i = bisect_left(starts, qstart, lo, hi)
             starts.insert(i, qstart)
             entry.stops.insert(i, qstop)
             entry.hists.insert(i, h)
@@ -191,9 +305,21 @@ class DependenceTracker:
 
         Edges are returned as ``(predecessor, successor)`` pairs with
         ``successor is task``; self-edges (a task touching the same region
-        twice) are suppressed.
+        twice) are suppressed.  After watermark pruning a predecessor's
+        strong reference may have been dropped; such pairs are resolved
+        through the graph's handle view, and omitted if the handle was
+        released too (the id-keyed :meth:`register_preds` path — what the
+        runtime uses — always reports the full predecessor id set).
         """
-        return {(pred, task) for pred in self.register_preds(task).values()}
+        preds = self.register_preds(task)
+        graph = self._graph
+        out: Set[Tuple[Task, Task]] = set()
+        for gid, pred in preds.items():
+            if pred is None and graph is not None and gid >= 0:
+                pred = graph.tasks[gid]
+            if pred is not None:
+                out.add((pred, task))
+        return out
 
     def register_preds(self, task: Task) -> Dict[int, Task]:
         """Register ``task``'s accesses; return its predecessors keyed by id.
@@ -223,33 +349,49 @@ class DependenceTracker:
         if tid == -1:
             tid = task.gid = self._next_detached
             self._next_detached -= 1
-        preds: Dict[int, Task] = {}
+        preds: Dict[int, Optional[Task]] = {}
         matches = 0
+        floor = 0
+        pruned = self._pruned
         by_name = self._by_name
+        setattr_ = object.__setattr__
         for dep in task.deps:
             region = dep.region
             kind = dep.kind
-            qstart = region.start
-            qstop = region.stop
-            entry = by_name.get(region.name)
-            if entry is None:
-                entry = by_name[region.name] = _NameIndex()
-            h = entry.exact.get((qstart, qstop))
-            if h is None:
-                h = self._insert_history(entry, qstart, qstop)
-                if len(h.overlaps) == 1:
-                    # Brand-new region overlapping nothing: its (empty)
-                    # history contributes no edges — just record the
-                    # access.  This is every first write to a fresh tile,
-                    # the hottest case of the tiled workloads.
-                    matches += 1
-                    if kind is _IN:
-                        h.readers[tid] = task
-                    elif kind is _CONCURRENT:
-                        h.concurrents[tid] = task
-                    else:
-                        h.writers = {tid: task}
-                    continue
+            # Identity cache: an interned region resolved by this tracker
+            # before carries its history on a slot — two loads and an
+            # identity compare instead of a name hash plus an extent hash.
+            if region._hist_owner is self:
+                h = region._hist
+            else:
+                qstart = region.start
+                qstop = region.stop
+                entry = by_name.get(region.name)
+                if entry is None:
+                    entry = by_name[region.name] = _NameIndex()
+                key = (qstart, qstop)
+                h = entry.exact.get(key)
+                if h is None:
+                    h = self._insert_history(entry, qstart, qstop, key)
+                    setattr_(region, "_hist_owner", self)
+                    setattr_(region, "_hist", h)
+                    if len(h.overlaps) == 1:
+                        # Brand-new region overlapping nothing: its
+                        # (empty) history contributes no edges — just
+                        # record the access.  This is every first write
+                        # to a fresh tile, the hottest case of the tiled
+                        # workloads.
+                        matches += 1
+                        if kind is _IN:
+                            h.readers = {tid: task}
+                        elif kind is _CONCURRENT:
+                            h.concurrents = {tid: task}
+                        else:
+                            h.writers = {tid: task}
+                        continue
+                else:
+                    setattr_(region, "_hist_owner", self)
+                    setattr_(region, "_hist", h)
             overlapping = h.overlaps
             n_over = len(overlapping)
             matches += n_over
@@ -269,6 +411,10 @@ class DependenceTracker:
                     c = h.concurrents
                     if c:
                         preds.update(c)
+                    if pruned:
+                        g = h.ghost_w if h.ghost_w >= h.ghost_c else h.ghost_c
+                        if g > floor:
+                            floor = g
                 else:
                     for o in overlapping:
                         w = o.writers
@@ -277,7 +423,15 @@ class DependenceTracker:
                         c = o.concurrents
                         if c:
                             preds.update(c)
-                h.readers[tid] = task
+                        if pruned:
+                            g = o.ghost_w if o.ghost_w >= o.ghost_c else o.ghost_c
+                            if g > floor:
+                                floor = g
+                r = h.readers
+                if r is None:
+                    h.readers = {tid: task}
+                else:
+                    r[tid] = task
             elif kind is _CONCURRENT:
                 # Ordered against writers and ordinary readers, but NOT
                 # against fellow members of the open concurrent group.
@@ -288,7 +442,15 @@ class DependenceTracker:
                     r = o.readers
                     if r:
                         preds.update(r)
-                h.concurrents[tid] = task
+                    if pruned:
+                        g = o.ghost_w if o.ghost_w >= o.ghost_r else o.ghost_r
+                        if g > floor:
+                            floor = g
+                c = h.concurrents
+                if c is None:
+                    h.concurrents = {tid: task}
+                else:
+                    c[tid] = task
             else:
                 # OUT/INOUT: WAW vs writers, WAR vs readers, ordering vs
                 # concurrents.  COMMUTATIVE chains conservatively the same
@@ -301,11 +463,11 @@ class DependenceTracker:
                     r = h.readers
                     if r:
                         preds.update(r)
-                        h.readers = {}
+                        h.readers = None
                     c = h.concurrents
                     if c:
                         preds.update(c)
-                        h.concurrents = {}
+                        h.concurrents = None
                 else:
                     # Edge collection and writer propagation fused into
                     # one pass: each history's members merge into
@@ -320,58 +482,381 @@ class DependenceTracker:
                         w = o.writers
                         if w:
                             preds.update(w)
+                            w[tid] = task
+                        else:
+                            o.writers = {tid: task}
                         r = o.readers
                         if r:
                             preds.update(r)
                         c = o.concurrents
                         if c:
                             preds.update(c)
-                        w[tid] = task
-                    if h.readers:
-                        h.readers = {}
-                    if h.concurrents:
-                        h.concurrents = {}
+                        if pruned:
+                            g = o.ghost_w
+                            if o.ghost_r > g:
+                                g = o.ghost_r
+                            if o.ghost_c > g:
+                                g = o.ghost_c
+                            if g > floor:
+                                floor = g
+                    if h.readers is not None:
+                        h.readers = None
+                    if h.concurrents is not None:
+                        h.concurrents = None
+                if pruned:
+                    if n_over == 1:
+                        g = h.ghost_w
+                        if h.ghost_r > g:
+                            g = h.ghost_r
+                        if h.ghost_c > g:
+                            g = h.ghost_c
+                        if g > floor:
+                            floor = g
+                    # Exact write: everything earlier — members and the
+                    # ghosts of members pruned from this history — is now
+                    # fully ordered before the new sole writer, exactly
+                    # like the member reset below.
+                    h.ghost_w = h.ghost_r = h.ghost_c = 0
                 # New sole writer: previous readers/writers/concurrents
                 # are now fully ordered before it (last-writer compaction).
                 h.writers = {tid: task}
         preds.pop(tid, None)
         self.scan_matches += matches
         self.last_matches = matches
+        if pruned:
+            # Only meaningful (and only read by the runtime) after a
+            # prune; stays 0 from construction otherwise.
+            self.last_depth_floor = floor
         self.edges_added += len(preds)
         return preds
 
     # ------------------------------------------------------------------
-    def prune_finished(self) -> int:
-        """Drop finished tasks that can no longer source edges.
+    def register_stream(self, source, graph):
+        """Generator: ``register_preds`` for a stream of graph-attached
+        tasks, with the per-call overhead hoisted out of the loop.
 
-        A finished task only needs to stay in a history while it is still
-        the *latest* access of its kind; once superseded it is unreachable.
-        We conservatively drop finished tasks from reader/concurrent sets
-        and writer sets larger than one entry.  Returns entries removed.
+        The bulk-submission companion of :meth:`register_preds` — the
+        runtime's ``submit_all`` drives it in lockstep (the caller
+        attaches each task to ``graph`` and assigns its gid *before*
+        advancing the generator).  Semantics are identical to calling
+        :meth:`register_preds` per task — pinned by the tracker- and
+        graph-equivalence suites plus the submit-vs-submit_all test —
+        but the name-index/locals are bound once, the instrumentation
+        counters accumulate in frame locals (flushed on close/exhaustion,
+        including mid-batch failures), and the detached-id branch is
+        dropped (every task has a dense gid by construction).
+        ``last_depth_floor`` is still published per task when pruning has
+        run, since the caller consumes it between steps.
         """
-        removed = 0
+        if graph is not None:
+            if graph is not self._graph:
+                if self._graph is not None:
+                    raise ValueError(
+                        "tracker already bound to a different TaskGraph; "
+                        "one DependenceTracker serves one graph"
+                    )
+                self._graph = graph
+        by_name = self._by_name
+        by_name_get = by_name.get
+        setattr_ = object.__setattr__
+        pruned = self._pruned
+        matches_total = 0
+        edges_total = 0
+        last_matches = self.last_matches  # unchanged if no task streams
+        try:
+            floor = 0
+            for task in source:
+                tid = task.gid
+                preds: Dict[int, Optional[Task]] = {}
+                matches = 0
+                if pruned:
+                    floor = 0
+                for dep in task.deps:
+                    region = dep.region
+                    kind = dep.kind
+                    if region._hist_owner is self:
+                        h = region._hist
+                    else:
+                        qstart = region.start
+                        qstop = region.stop
+                        entry = by_name_get(region.name)
+                        if entry is None:
+                            entry = by_name[region.name] = _NameIndex()
+                        key = (qstart, qstop)
+                        h = entry.exact.get(key)
+                        if h is None:
+                            h = self._insert_history(entry, qstart, qstop, key)
+                            setattr_(region, "_hist_owner", self)
+                            setattr_(region, "_hist", h)
+                            if len(h.overlaps) == 1:
+                                matches += 1
+                                if kind is _IN:
+                                    h.readers = {tid: task}
+                                elif kind is _CONCURRENT:
+                                    h.concurrents = {tid: task}
+                                else:
+                                    h.writers = {tid: task}
+                                continue
+                        else:
+                            setattr_(region, "_hist_owner", self)
+                            setattr_(region, "_hist", h)
+                    overlapping = h.overlaps
+                    n_over = len(overlapping)
+                    matches += n_over
+                    if kind is _IN:
+                        if n_over == 1:
+                            w = h.writers
+                            if w:
+                                preds.update(w)
+                            c = h.concurrents
+                            if c:
+                                preds.update(c)
+                            if pruned:
+                                g = h.ghost_w if h.ghost_w >= h.ghost_c else h.ghost_c
+                                if g > floor:
+                                    floor = g
+                        else:
+                            for o in overlapping:
+                                w = o.writers
+                                if w:
+                                    preds.update(w)
+                                c = o.concurrents
+                                if c:
+                                    preds.update(c)
+                                if pruned:
+                                    g = o.ghost_w if o.ghost_w >= o.ghost_c else o.ghost_c
+                                    if g > floor:
+                                        floor = g
+                        r = h.readers
+                        if r is None:
+                            h.readers = {tid: task}
+                        else:
+                            r[tid] = task
+                    elif kind is _CONCURRENT:
+                        for o in overlapping:
+                            w = o.writers
+                            if w:
+                                preds.update(w)
+                            r = o.readers
+                            if r:
+                                preds.update(r)
+                            if pruned:
+                                g = o.ghost_w if o.ghost_w >= o.ghost_r else o.ghost_r
+                                if g > floor:
+                                    floor = g
+                        c = h.concurrents
+                        if c is None:
+                            h.concurrents = {tid: task}
+                        else:
+                            c[tid] = task
+                    else:
+                        if n_over == 1:
+                            w = h.writers
+                            if w:
+                                preds.update(w)
+                            r = h.readers
+                            if r:
+                                preds.update(r)
+                                h.readers = None
+                            c = h.concurrents
+                            if c:
+                                preds.update(c)
+                                h.concurrents = None
+                        else:
+                            for o in overlapping:
+                                w = o.writers
+                                if w:
+                                    preds.update(w)
+                                    w[tid] = task
+                                else:
+                                    o.writers = {tid: task}
+                                r = o.readers
+                                if r:
+                                    preds.update(r)
+                                c = o.concurrents
+                                if c:
+                                    preds.update(c)
+                                if pruned:
+                                    g = o.ghost_w
+                                    if o.ghost_r > g:
+                                        g = o.ghost_r
+                                    if o.ghost_c > g:
+                                        g = o.ghost_c
+                                    if g > floor:
+                                        floor = g
+                            if h.readers is not None:
+                                h.readers = None
+                            if h.concurrents is not None:
+                                h.concurrents = None
+                        if pruned:
+                            if n_over == 1:
+                                g = h.ghost_w
+                                if h.ghost_r > g:
+                                    g = h.ghost_r
+                                if h.ghost_c > g:
+                                    g = h.ghost_c
+                                if g > floor:
+                                    floor = g
+                            h.ghost_w = h.ghost_r = h.ghost_c = 0
+                        h.writers = {tid: task}
+                preds.pop(tid, None)
+                matches_total += matches
+                last_matches = matches
+                edges_total += len(preds)
+                if pruned:
+                    self.last_depth_floor = floor
+                yield preds
+        finally:
+            # Flush batched instrumentation even when the caller aborts
+            # mid-batch (duplicate task) — counter state must match what
+            # an equivalent register_preds loop would have left.
+            self.scan_matches += matches_total
+            self.last_matches = last_matches
+            self.edges_added += edges_total
 
-        def alive(members: Dict[int, Task], keep_last: bool) -> Dict[int, Task]:
-            nonlocal removed
-            out = {}
-            last = len(members) - 1
-            for i, (mid, t) in enumerate(members.items()):
-                if t.state.value == "finished" and not (keep_last and i == last):
-                    removed += 1
-                else:
-                    out[mid] = t
-            return out
+    # ------------------------------------------------------------------
+    def prune_finished(self) -> int:
+        """Drop finished tasks that can no longer source live edges.
+
+        A finished member could only ever source edges *from a finished
+        task* — readiness-neutral by construction — so removal is safe
+        for execution as long as the member's **depth contribution** is
+        preserved: each removal folds ``depth + 1`` into the history's
+        per-kind ghost (see the module docstring), which
+        :meth:`register_preds` replays as ``last_depth_floor``.  Finished
+        readers/concurrents and superseded writers are removed outright;
+        the *last* writer entry is kept for exact RAW bookkeeping but its
+        strong ``Task`` reference is dropped (value ``None``) for
+        graph-attached tasks, so a retired task is collectible the moment
+        the graph releases its handle.  Returns entries removed.
+        """
+        self._pruned = True
+        removed = 0
+        released = 0
+        graph = self._graph
+        state_arr = graph.state if graph is not None else None
+        depth_arr = graph.depth if graph is not None else None
+        finished = TaskState.FINISHED
+
+        def is_finished(mid: int, t: Optional[Task]) -> bool:
+            if t is None:
+                return True  # reference already dropped by a prior prune
+            if mid >= 0 and state_arr is not None:
+                return state_arr[mid] is finished
+            return t.state is finished
+
+        def ghost_of(mid: int, t: Optional[Task]) -> int:
+            if mid >= 0 and depth_arr is not None:
+                return depth_arr[mid] + 1
+            return (t._depth if t is not None else 0) + 1
 
         for entry in self._by_name.values():
             for tier in (entry.hists, entry.longs):
                 for h in tier:
-                    h.readers = alive(h.readers, keep_last=False)
-                    h.concurrents = alive(h.concurrents, keep_last=False)
-                    h.writers = alive(h.writers, keep_last=True)
+                    readers = h.readers
+                    if readers:
+                        kept: Dict[int, Optional[Task]] = {}
+                        g = h.ghost_r
+                        for mid, t in readers.items():
+                            if is_finished(mid, t):
+                                removed += 1
+                                d = ghost_of(mid, t)
+                                if d > g:
+                                    g = d
+                            else:
+                                kept[mid] = t
+                        if len(kept) != len(readers):
+                            h.readers = kept or None
+                            h.ghost_r = g
+                    concurrents = h.concurrents
+                    if concurrents:
+                        kept = {}
+                        g = h.ghost_c
+                        for mid, t in concurrents.items():
+                            if is_finished(mid, t):
+                                removed += 1
+                                d = ghost_of(mid, t)
+                                if d > g:
+                                    g = d
+                            else:
+                                kept[mid] = t
+                        if len(kept) != len(concurrents):
+                            h.concurrents = kept or None
+                            h.ghost_c = g
+                    writers = h.writers
+                    if writers:
+                        last_mid = next(reversed(writers))
+                        kept = {}
+                        g = h.ghost_w
+                        for mid, t in writers.items():
+                            if mid != last_mid and is_finished(mid, t):
+                                removed += 1
+                                d = ghost_of(mid, t)
+                                if d > g:
+                                    g = d
+                            else:
+                                kept[mid] = t
+                        last_t = kept[last_mid]
+                        if (
+                            last_t is not None
+                            and last_mid >= 0
+                            and is_finished(last_mid, last_t)
+                        ):
+                            kept[last_mid] = None
+                            released += 1
+                        h.writers = kept
+                        h.ghost_w = g
+        self.refs_released += released
         return removed
+
+    def invalidate_region_caches(self) -> int:
+        """Clear this tracker's identity caches off every interned region.
+
+        A canonical :class:`Region` lives in the process-wide intern
+        table; its ``_hist`` slot would otherwise keep this tracker's
+        entire history graph (and through it every member task) alive
+        after the run is over.  The campaign runner calls this once per
+        scenario.  Returns how many caches were cleared.
+        """
+        from .task import _REGION_INTERN
+
+        cleared = 0
+        setattr_ = object.__setattr__
+        for region in _REGION_INTERN.values():
+            if region._hist_owner is self:
+                setattr_(region, "_hist_owner", None)
+                setattr_(region, "_hist", None)
+                cleared += 1
+        return cleared
 
     @property
     def live_regions(self) -> int:
         return sum(
             len(e.hists) + len(e.longs) for e in self._by_name.values()
         )
+
+    @property
+    def live_members(self) -> int:
+        """Total member entries across all histories (pruning diagnostics)."""
+        return sum(
+            (len(h.writers) if h.writers else 0)
+            + (len(h.readers) if h.readers else 0)
+            + (len(h.concurrents) if h.concurrents else 0)
+            for e in self._by_name.values()
+            for tier in (e.hists, e.longs)
+            for h in tier
+        )
+
+    @property
+    def live_task_refs(self) -> int:
+        """Member entries still holding a strong Task reference."""
+        total = 0
+        for e in self._by_name.values():
+            for tier in (e.hists, e.longs):
+                for h in tier:
+                    for members in (h.writers, h.readers, h.concurrents):
+                        if members:
+                            total += sum(
+                                1 for t in members.values() if t is not None
+                            )
+        return total

@@ -55,8 +55,9 @@ class TaskGraph:
     """
 
     def __init__(self) -> None:
-        #: gid -> Task handle (the id → Task view).
-        self.tasks: List[Task] = []
+        #: gid -> Task handle (the id → Task view).  ``None`` for handles
+        #: retired via :meth:`release_handles` in streaming mode.
+        self.tasks: List[Optional[Task]] = []
         #: gid -> globally unique ``task_id`` (the deterministic wake-order
         #: sort key).
         self.task_ids: List[int] = []
@@ -78,6 +79,15 @@ class TaskGraph:
         #: gid -> criticality flag (filled by mark_critical_tasks or the
         #: runtime's online policy).
         self.critical: List[bool] = []
+        #: gid -> lifecycle timestamps (None until stamped).  Array-native
+        #: so the runtime's completion/wake-up paths never resolve a
+        #: ``tasks[gid]`` handle just to record a time, and post-run
+        #: analytics (:mod:`repro.core.analytics`) can sweep whole
+        #: campaigns without touching Task objects.
+        self.submit_time: List[Optional[float]] = []
+        self.ready_time: List[Optional[float]] = []
+        self.start_time: List[Optional[float]] = []
+        self.end_time: List[Optional[float]] = []
         # Per-gid length of the prefix of succ_ids[gid] known to be sorted
         # by task_id (the deterministic wake order); maintained by
         # prepare_wake_order / the runtime's completion path.
@@ -107,6 +117,10 @@ class TaskGraph:
         self.state.append(task._state)
         self.bottom_level.append(task._bottom_level)
         self.critical.append(task._critical)
+        self.submit_time.append(task._submit_time)
+        self.ready_time.append(task._ready_time)
+        self.start_time.append(task._start_time)
+        self.end_time.append(task._end_time)
         self._wake_len.append(0)
         return gid
 
@@ -189,6 +203,40 @@ class TaskGraph:
 
     def __len__(self) -> int:
         return len(self.tasks)
+
+    # ------------------------------------------------------------------
+    # streaming-mode retirement
+    # ------------------------------------------------------------------
+    def release_handles(self, gids: Iterable[int]) -> int:
+        """Drop the graph's strong references to the given task handles.
+
+        The struct-of-arrays state (adjacency, depth, timestamps, ...)
+        for those ids stays intact — analytics and future edge insertions
+        only ever read the arrays — but ``tasks[gid]`` becomes ``None``,
+        so a retired :class:`Task` (with its label, deps and interned
+        regions) is garbage-collectible as soon as the caller's own
+        references go away.  Only FINISHED tasks may be released; the
+        runtime's watermark pruning calls this for every retirement batch.
+        Whole-graph object analyses (``total_work``, ``to_networkx``, …)
+        are unavailable after a release, which is why it is opt-in.
+        """
+        tasks = self.tasks
+        state = self.state
+        finished = TaskState.FINISHED
+        released = 0
+        for gid in gids:
+            if state[gid] is not finished:
+                raise ValueError(
+                    f"cannot release unfinished task gid={gid}"
+                )
+            if tasks[gid] is not None:
+                tasks[gid] = None
+                released += 1
+        return released
+
+    def live_handles(self) -> int:
+        """Number of task handles not yet released (memory diagnostics)."""
+        return sum(1 for t in self.tasks if t is not None)
 
     # ------------------------------------------------------------------
     # queries

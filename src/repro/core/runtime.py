@@ -16,7 +16,25 @@ predecessor id-lists into the graph's struct-of-arrays adjacency,
 schedulers queue dense task ids against the graph view the runtime binds
 at construction, and completion decrements ready counts by walking the
 successor id arrays — no ``Task``-set materialisation anywhere on the
-critical path of submission or wake-up.
+critical path of submission or wake-up.  Lifecycle timestamps live in
+graph arrays too (``graph.submit_time`` & co.), so ``_make_ready`` and
+``_complete`` run purely on gids: a handle is only resolved where the
+task's *description* is needed (dispatch cost model, trace labels, real
+function execution).
+
+Streaming mode
+--------------
+``prune_every=N`` turns on watermark pruning: every N completions the
+runtime prunes the dependence tracker's finished members
+(:meth:`~repro.core.deps.DependenceTracker.prune_finished`, execution-
+equivalent by construction) and releases the graph's strong handles for
+the retired batch (:meth:`~repro.core.graph.TaskGraph.release_handles`).
+A runtime that submits rolling windows of tasks then holds memory
+proportional to the *live* window, not the full history — retired Task
+objects are collectible as soon as the caller's own references lapse,
+while the id-keyed arrays keep post-run analytics intact.  Off by
+default; whole-graph object analyses (``total_work``, ``to_networkx``)
+are unavailable for released handles.
 
 Execution is fully event-driven: task completions wake the dispatcher, which
 fills idle cores from the scheduler.  When a task carries a real Python
@@ -105,6 +123,16 @@ class Runtime:
         event-queue traffic.  If False, each wake-up schedules the legacy
         zero-delay trampoline event instead — kept as the reference path
         for the makespan-equivalence tests.
+    prune_every:
+        Watermark for streaming mode: every N task completions, prune the
+        dependence tracker's finished members and release the graph's
+        strong handles for the retired batch, bounding memory on rolling
+        submission patterns.  ``0`` (default) never prunes.  Pruning is
+        execution-equivalent — makespans are bit-identical to the
+        unpruned run (pinned by the prune-equivalence property suite).
+        Incompatible with submission models that price inserted edges
+        (``per_edge_s``), which would observe the smaller pruned edge
+        counts; the constructor rejects that combination.
     """
 
     def __init__(
@@ -119,6 +147,7 @@ class Runtime:
         submission=None,
         prefetcher=None,
         batch_dispatch: bool = True,
+        prune_every: int = 0,
     ) -> None:
         self.machine = machine
         # ``is not None``, NOT truthiness: schedulers are falsy while
@@ -138,6 +167,10 @@ class Runtime:
         self.execute_functions = execute_functions
         self.stats = StatSet("runtime")
         self._unfinished = 0
+        # False until the first task completion — lets bulk submission
+        # skip per-edge FINISHED probes on the (universal) build-then-run
+        # pattern.  Only _complete ever sets a task FINISHED.
+        self._any_finished = False
         self._dispatch_scheduled = False
         self._rr_hint = 0
         self._pending_ready: List[int] = []
@@ -149,6 +182,26 @@ class Runtime:
         self.prefetcher = prefetcher
         self.batch_dispatch = batch_dispatch
         self._master_free_at = 0.0
+        if prune_every < 0:
+            raise ValueError("prune_every must be non-negative")
+        if prune_every and getattr(submission, "per_edge_s", 0.0):
+            # Pruning preserves readiness and depth exactly, but it does
+            # shrink the *edge count* later registrations report — a
+            # model that prices inserted edges would then charge less
+            # simulated time and silently break the bit-identical
+            # equivalence this mode promises.  (per_match_s is safe:
+            # matches count consulted histories, which pruning keeps.)
+            raise ValueError(
+                "prune_every is incompatible with a submission model "
+                "that prices inserted edges (per_edge_s): pruned runs "
+                "register fewer edges and would diverge"
+            )
+        self.prune_every = prune_every
+        # Finished gids awaiting the next watermark prune (streaming mode).
+        self._retired: List[int] = []
+        # Gids whose deferred release (master-registration gate) is already
+        # scheduled, so a second wake-up does not reschedule it.
+        self._release_pending: set = set()
 
     # ------------------------------------------------------------------
     # submission API
@@ -156,9 +209,18 @@ class Runtime:
     def submit(self, task: Task) -> Task:
         """Register a task: derive its TDG edges and queue it if ready."""
         graph = self.graph
+        tracker = self.tracker
         gid = graph.add_task(task)
-        preds = self.tracker.register_preds(task)
+        preds = tracker.register_preds(task)
         n_edges = graph.add_edges_to(preds, gid) if preds else 0
+        if tracker._pruned:
+            floor = tracker.last_depth_floor
+            if floor > graph.depth[gid]:
+                # Depth contribution of edges the tracker pruned away
+                # (always finished predecessors): replayed so
+                # breadth-first order is bit-identical to the unpruned
+                # run.
+                graph.depth[gid] = floor
         self._unfinished += 1
         self.stats.add("tasks_submitted")
         if self.submission is not None:
@@ -170,19 +232,19 @@ class Runtime:
                 self.submission, "per_edge_s", 0.0
             ):
                 cost = self.submission.register_seconds(
-                    len(task.deps), self.tracker.last_matches, n_edges
+                    len(task.deps), tracker.last_matches, n_edges
                 )
             else:
                 cost = self.submission.register_seconds(len(task.deps))
             self._master_free_at = max(
                 self._master_free_at, self.machine.sim.now
             ) + cost
-            task.submit_time = self._master_free_at
+            graph.submit_time[gid] = self._master_free_at
             self.stats.add("submission_seconds", cost)
         else:
-            task.submit_time = self.machine.sim.now
+            graph.submit_time[gid] = self.machine.sim.now
         if graph.unfinished_preds[gid] == 0:
-            self._make_ready(task)
+            self._make_ready(gid)
         return task
 
     def submit_all(self, tasks: Sequence[Task]) -> List[Task]:
@@ -200,7 +262,6 @@ class Runtime:
         if not isinstance(tasks, list):
             tasks = list(tasks)
         graph = self.graph
-        register_preds = self.tracker.register_preds
         make_ready = self._make_ready
         # graph.add_task and the fresh-successor branch of add_edges_to,
         # inlined (a Python call per task adds up on graphs of 10^4+
@@ -222,61 +283,104 @@ class Runtime:
         graph_tasks.extend(tasks)
         graph.task_ids.extend(tids)
         succ_ids.extend([] for _ in range(n_new))
-        pred_ids.extend([] for _ in range(n_new))
+        # Placeholder-filled: the loop below assigns each slot exactly
+        # once (a fresh list for edged tasks, [] otherwise), so no empty
+        # list is allocated just to be thrown away.
+        pred_ids.extend([None] * n_new)
         unfinished_preds.extend([0] * n_new)
         depth_arr.extend([0] * n_new)
-        state_arr.extend(t._state for t in tasks)
-        graph.bottom_level.extend(t._bottom_level for t in tasks)
-        graph.critical.extend(t._critical for t in tasks)
+        state_arr.extend([t._state for t in tasks])
+        graph.bottom_level.extend([t._bottom_level for t in tasks])
+        graph.critical.extend([t._critical for t in tasks])
         graph._wake_len.extend([0] * n_new)
         now = self.machine.sim.now  # nothing below advances the clock
+        # Timestamps are array-native: one bulk fill replaces a per-task
+        # ``task.submit_time = now`` slot write (the failure path trims
+        # the tail for never-registered tasks like every other array).
+        graph.submit_time.extend([now] * n_new)
+        graph.ready_time.extend([None] * n_new)
+        graph.start_time.extend([None] * n_new)
+        graph.end_time.extend([None] * n_new)
+        tracker = self.tracker
+        # Pruning cannot fire mid-loop (nothing below steps the
+        # simulation), so the ghost-depth replay applies uniformly.
+        apply_floor = tracker._pruned
+        # Until the first completion, no predecessor can be FINISHED (the
+        # runtime is the only writer of that state), so the per-edge
+        # state probe collapses to ``unfinished = len(preds)``.
+        check_states = self._any_finished
         n_done = 0
         n_edges = 0
+        # Lockstep bulk registration: the stream registers a task only
+        # when advanced, i.e. after the duplicate probe and gid
+        # assignment below — a mid-batch failure leaves the tracker
+        # exactly where a submit() loop would have.
+        stream = tracker.register_stream(tasks, graph)
         try:
             for i, task in enumerate(tasks):
                 tid = tids[i]
-                if tid in index_of:
-                    raise ValueError(f"task #{tid} already in graph")
                 gid = start + i
-                index_of[tid] = gid
+                # One dict op for probe + insert (setdefault returns the
+                # prior mapping on a duplicate).
+                if index_of.setdefault(tid, gid) != gid:
+                    raise ValueError(f"task #{tid} already in graph")
                 task.graph = graph
                 task.gid = gid
-                preds = register_preds(task)
+                preds = next(stream)
                 if preds:
                     # Fresh successor: every tracker pred is a new edge.
                     depth = 0
-                    unfinished = 0
-                    for p in preds:
-                        succ_ids[p].append(gid)
-                        if state_arr[p] is not finished:
-                            unfinished += 1
-                        d = depth_arr[p]
-                        if d >= depth:
-                            depth = d + 1
-                    pred_ids[gid].extend(preds)
+                    if check_states:
+                        unfinished = 0
+                        for p in preds:
+                            succ_ids[p].append(gid)
+                            if state_arr[p] is not finished:
+                                unfinished += 1
+                            d = depth_arr[p]
+                            if d >= depth:
+                                depth = d + 1
+                    else:
+                        unfinished = len(preds)
+                        for p in preds:
+                            succ_ids[p].append(gid)
+                            d = depth_arr[p]
+                            if d >= depth:
+                                depth = d + 1
+                    pred_ids[gid] = list(preds)
+                    if apply_floor:
+                        floor = tracker.last_depth_floor
+                        if floor > depth:
+                            depth = floor
                     depth_arr[gid] = depth
                     unfinished_preds[gid] = unfinished
                     n_edges += len(preds)
-                    task.submit_time = now
                     n_done += 1
                     if unfinished == 0:
-                        make_ready(task)
+                        make_ready(gid)
                 else:
-                    task.submit_time = now
+                    pred_ids[gid] = []
+                    if apply_floor:
+                        floor = tracker.last_depth_floor
+                        if floor:
+                            depth_arr[gid] = floor
                     n_done += 1
-                    make_ready(task)
+                    make_ready(gid)
         finally:
             # Account even on a mid-loop failure (e.g. a duplicate task):
             # everything registered so far is in the graph and possibly
             # ready, exactly as a submit() loop would have left it — and
             # the pre-extended array tail for never-submitted tasks is
-            # trimmed back off.
+            # trimmed back off.  Closing the stream flushes its batched
+            # tracker counters immediately.
+            stream.close()
             if n_done != n_new:
                 cut = start + n_done
                 for arr in (
                     graph_tasks, graph.task_ids, succ_ids, pred_ids,
                     unfinished_preds, depth_arr, state_arr,
                     graph.bottom_level, graph.critical, graph._wake_len,
+                    graph.submit_time, graph.ready_time,
+                    graph.start_time, graph.end_time,
                 ):
                     del arr[cut:]
                 # The failing task may already hold a mapping/handle into
@@ -304,27 +408,30 @@ class Runtime:
     # ------------------------------------------------------------------
     # readiness & dispatch
     # ------------------------------------------------------------------
-    def _make_ready(self, task: Task) -> None:
+    def _make_ready(self, gid: int) -> None:
         # Readiness is recorded immediately, but the scheduler push is
         # deferred to dispatch time (inside the simulation loop) so that
         # whole-graph criticality preparation can run before any placement
         # decision is taken.  With a submission model, a task additionally
-        # cannot become ready before the master registered it.
+        # cannot become ready before the master registered it.  Pure
+        # id-keyed: no handle is resolved on the wake-up path.
+        graph = self.graph
         now = self.machine.sim.now
-        if task.submit_time is not None and task.submit_time > now:
+        st = graph.submit_time[gid]
+        if st is not None and st > now:
             # Defer release until the master registered the task.  A gate
-            # flag (not clobbering submit_time) avoids rescheduling loops
+            # set (not clobbering submit_time) avoids rescheduling loops
             # while preserving the registration timestamp for latency
             # accounting.
-            if not task.release_pending:
-                task.release_pending = True
-                self.machine.sim.schedule_at(
-                    task.submit_time, self._make_ready, task
-                )
+            pending = self._release_pending
+            if gid not in pending:
+                pending.add(gid)
+                self.machine.sim.schedule_at(st, self._make_ready, gid)
             return
-        gid = task.gid
-        self.graph.state[gid] = TaskState.READY
-        task.ready_time = now
+        if self._release_pending:
+            self._release_pending.discard(gid)
+        graph.state[gid] = TaskState.READY
+        graph.ready_time[gid] = now
         self._pending_ready.append(gid)
         self._schedule_dispatch()
 
@@ -386,7 +493,7 @@ class Runtime:
         core = machine.cores[core_id]
         graph.state[gid] = TaskState.RUNNING
         task.core_id = core_id
-        task.start_time = now
+        graph.start_time[gid] = now
         core.begin_work(now, work=task)
         critical = graph.critical[gid]
         stall = 0.0
@@ -404,33 +511,36 @@ class Runtime:
             )
         body = task.cpu_cycles / freq_hz + mem_seconds
         end = now + stall + body
-        task.end_time = end
-        machine.sim.schedule_at(end, self._complete, task)
+        graph.end_time[gid] = end
+        machine.sim.schedule_at(end, self._complete, gid)
         self.stats.add("tasks_started")
         if critical:
             self.stats.add("critical_tasks_started")
 
-    def _complete(self, task: Task) -> None:
+    def _complete(self, gid: int) -> None:
         machine = self.machine
         graph = self.graph
-        gid = task.gid
+        task = graph.tasks[gid]
         now = machine.sim.now
-        core = machine.cores[task.core_id]
+        core_id = task.core_id
+        core = machine.cores[core_id]
         core.end_work(now)
-        insort(self._idle_cores, task.core_id)
+        insort(self._idle_cores, core_id)
         graph.state[gid] = TaskState.FINISHED
+        self._any_finished = True
         self._unfinished -= 1
         self.stats.add("tasks_finished")
         # No-trace fast path: with tracing off, no TraceRecord is ever
-        # allocated on the completion hot path.
+        # allocated on the completion hot path (and the timestamps already
+        # live in the graph arrays — tracing is pure optional cost).
         trace = self.trace
         if trace is not None:
             trace.record(
                 TraceRecord(
                     task_id=task.task_id,
                     task_label=task.label,
-                    core_id=task.core_id,
-                    start=task.start_time,
+                    core_id=core_id,
+                    start=graph.start_time[gid],
                     end=now,
                     frequency_ghz=core.frequency_ghz,
                     critical=graph.critical[gid],
@@ -449,16 +559,28 @@ class Runtime:
                 graph._wake_len[gid] = len(succs)
             unfinished_preds = graph.unfinished_preds
             state = graph.state
-            tasks = graph.tasks
             created = TaskState.CREATED
             make_ready = self._make_ready
             for s in succs:
                 n = unfinished_preds[s] = unfinished_preds[s] - 1
                 if n == 0 and state[s] is created:
-                    make_ready(tasks[s])
+                    make_ready(s)
         if self.rsu is not None and self.lower_on_idle:
-            self.rsu.notify_task_end(task.core_id, now)
+            self.rsu.notify_task_end(core_id, now)
+        if self.prune_every:
+            self._retired.append(gid)
+            if len(self._retired) >= self.prune_every:
+                self._run_prune()
         self._schedule_dispatch()
+
+    def _run_prune(self) -> None:
+        """Watermark prune: retire the tracker's finished members and
+        release the graph handles of the completed batch."""
+        retired, self._retired = self._retired, []
+        self.tracker.prune_finished()
+        self.graph.release_handles(retired)
+        self.stats.add("prune_passes")
+        self.stats.add("tasks_retired", len(retired))
 
     # ------------------------------------------------------------------
     # execution

@@ -10,16 +10,34 @@ programmer never names another task.
 Task as a thin handle
 ---------------------
 A :class:`Task` owns only its *description* (label, cost, declared
-accesses, optional real function) and per-execution bookkeeping
-timestamps.  All graph-structural state — adjacency, ready counts, depth,
-state, criticality — lives in id-keyed arrays on the owning
+accesses, optional real function) and per-dispatch handle fields
+(``core_id``, ``result``).  All graph-structural state — adjacency, ready
+counts, depth, state, criticality — **and the per-task lifecycle
+timestamps** (``submit_time`` / ``ready_time`` / ``start_time`` /
+``end_time``) live in id-keyed arrays on the owning
 :class:`~repro.core.graph.TaskGraph`; ``task.gid`` is the task's dense
 index into those arrays.  The ``predecessors`` / ``successors`` /
 ``unfinished_preds`` / ``state`` / ``depth`` / ``bottom_level`` /
-``critical`` attributes remain available as properties that delegate to
-the graph (falling back to local slots while a task is detached), so
-existing user code keeps working; the hot paths in the runtime bypass the
-properties and touch the arrays directly.
+``critical`` / timestamp attributes remain available as properties that
+delegate to the graph (falling back to local slots while a task is
+detached), so existing user code keeps working; the hot paths in the
+runtime bypass the properties and touch the arrays directly.  Keeping the
+timestamps in graph arrays means completion-side bookkeeping never has to
+resolve ``tasks[gid]`` handles just to stamp times, and post-run
+analytics (:mod:`repro.core.analytics`) can pivot whole campaigns without
+materialising any Task collection.
+
+Region interning
+----------------
+Workload builders emit the same ``(name, start, stop)`` triples over and
+over (every tile of a factorisation is touched by O(nt) tasks).
+:meth:`Region.interned` maps each distinct triple to one canonical
+:class:`Region` instance, which buys two things: builders stop allocating
+duplicate frozen dataclasses, and the dependence tracker can cache its
+per-region history slot *on the canonical instance* (see
+``_hist``/``_hist_owner``), so repeat accesses resolve by identity —
+two attribute loads — instead of re-hashing name strings and bound
+tuples on every declared access.
 
 Cost model
 ----------
@@ -44,7 +62,14 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Set, 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .graph import TaskGraph
 
-__all__ = ["DepKind", "Region", "Dependence", "Task", "TaskState"]
+__all__ = [
+    "DepKind",
+    "Region",
+    "Dependence",
+    "Task",
+    "TaskState",
+    "clear_region_intern",
+]
 
 
 class DepKind(Enum):
@@ -95,11 +120,23 @@ class Region:
     ``slots=True``: the dependence tracker reads ``name``/``start``/``stop``
     for every declared access of every submitted task, so fixed slots keep
     those reads off the per-instance ``__dict__``.
+
+    ``_hist`` / ``_hist_owner`` are the dependence tracker's identity
+    cache: the :class:`~repro.core.deps.DependenceTracker` that last
+    resolved this exact region instance stashes its history slot here, so
+    the next access through the *same instance* (guaranteed by interning)
+    skips the name and extent hash lookups entirely.  They are excluded
+    from equality, hashing, repr and pickles.
     """
 
     name: str
     start: int = _WHOLE[0]
     stop: int = _WHOLE[1]
+    # Tracker identity cache (see class docstring).  ``compare=False``
+    # keeps them out of __eq__/__hash__; custom __getstate__ keeps them
+    # out of pickles (a cached history would drag the whole tracker in).
+    _hist_owner: Any = field(default=None, init=False, repr=False, compare=False)
+    _hist: Any = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.stop <= self.start:
@@ -112,6 +149,17 @@ class Region:
             and other.start < self.stop
         )
 
+    def __getstate__(self):
+        # Drop the tracker cache: pickling/deepcopy must never serialise
+        # a history chain, and a clone belongs to no tracker.
+        return (self.name, self.start, self.stop)
+
+    def __setstate__(self, state) -> None:
+        for slot, value in zip(("name", "start", "stop"), state):
+            object.__setattr__(self, slot, value)
+        object.__setattr__(self, "_hist_owner", None)
+        object.__setattr__(self, "_hist", None)
+
     @classmethod
     def of(cls, spec: "Region | str | Tuple[str, int, int]") -> "Region":
         """Coerce a user-facing spec into a Region."""
@@ -122,6 +170,45 @@ class Region:
         if isinstance(spec, tuple) and len(spec) == 3:
             return cls(spec[0], spec[1], spec[2])
         raise TypeError(f"cannot interpret {spec!r} as a data region")
+
+    @classmethod
+    def interned(cls, spec: "Region | str | Tuple[str, int, int]") -> "Region":
+        """Coerce like :meth:`of`, but return the canonical instance.
+
+        Every distinct ``(name, start, stop)`` triple maps to exactly one
+        :class:`Region` object per process, so workload builders that
+        declare the same region across many tasks share a single frozen
+        instance — and the tracker's identity cache on it.  The table is
+        bounded by the number of *distinct* regions ever interned (ring
+        buffers and tile grids recur; see :func:`clear_region_intern` for
+        explicit resets in long-lived processes).
+        """
+        if isinstance(spec, Region):
+            key = (spec.name, spec.start, spec.stop)
+        elif isinstance(spec, str):
+            key = (spec, _WHOLE[0], _WHOLE[1])
+        else:
+            key = spec
+        region = _REGION_INTERN.get(key)
+        if region is None:
+            region = _REGION_INTERN[key] = cls.of(spec)
+        return region
+
+
+#: (name, start, stop) -> canonical Region instance (see Region.interned).
+_REGION_INTERN: dict = {}
+
+
+def clear_region_intern() -> int:
+    """Empty the canonical-region table; returns how many were dropped.
+
+    Interned regions also anchor the tracker identity caches, so a
+    long-lived process that is done with a workload family can call this
+    to release both in one step.
+    """
+    n = len(_REGION_INTERN)
+    _REGION_INTERN.clear()
+    return n
 
 
 @dataclass(frozen=True, slots=True)
@@ -146,11 +233,12 @@ _task_ids = itertools.count()
 class Task:
     """A schedulable unit of work with declared data accesses.
 
-    ``slots=True``: the runtime touches task attributes (timestamps,
-    handle fields) on every dispatch and completion, so fixed slots
-    instead of a per-instance ``__dict__`` shave the hot-path attribute
-    traffic the ROADMAP flags.  Ad-hoc attributes can no longer be
-    attached to tasks; extend the dataclass instead.
+    ``slots=True``: the runtime reads task descriptions (costs, deps) on
+    every dispatch, so fixed slots instead of a per-instance ``__dict__``
+    shave the hot-path attribute traffic the ROADMAP flags.  Lifecycle
+    timestamps live in the owning graph's arrays (the properties below
+    delegate); ad-hoc attributes can no longer be attached to tasks —
+    extend the dataclass instead.
 
     Parameters
     ----------
@@ -196,16 +284,14 @@ class Task:
     _critical: bool = False
     _bottom_level: float = 0.0
     _depth: int = 0
+    _submit_time: Optional[float] = None
+    _ready_time: Optional[float] = None
+    _start_time: Optional[float] = None
+    _end_time: Optional[float] = None
 
-    # True once the runtime has scheduled the deferred release of a task
-    # whose registration (submit_time) lies in the simulated future
-    release_pending: bool = False
-    # bookkeeping filled in by the executor
-    submit_time: Optional[float] = None
-    ready_time: Optional[float] = None
+    # bookkeeping filled in by the executor (handle-local: dispatch target
+    # and the real function's return value)
     core_id: Optional[int] = None
-    start_time: Optional[float] = None
-    end_time: Optional[float] = None
     result: Any = None
 
     def __post_init__(self) -> None:
@@ -305,6 +391,58 @@ class Task:
             g.depth[self.gid] = value
         else:
             self._depth = value
+
+    @property
+    def submit_time(self) -> Optional[float]:
+        g = self.graph
+        return g.submit_time[self.gid] if g is not None else self._submit_time
+
+    @submit_time.setter
+    def submit_time(self, value: Optional[float]) -> None:
+        g = self.graph
+        if g is not None:
+            g.submit_time[self.gid] = value
+        else:
+            self._submit_time = value
+
+    @property
+    def ready_time(self) -> Optional[float]:
+        g = self.graph
+        return g.ready_time[self.gid] if g is not None else self._ready_time
+
+    @ready_time.setter
+    def ready_time(self, value: Optional[float]) -> None:
+        g = self.graph
+        if g is not None:
+            g.ready_time[self.gid] = value
+        else:
+            self._ready_time = value
+
+    @property
+    def start_time(self) -> Optional[float]:
+        g = self.graph
+        return g.start_time[self.gid] if g is not None else self._start_time
+
+    @start_time.setter
+    def start_time(self, value: Optional[float]) -> None:
+        g = self.graph
+        if g is not None:
+            g.start_time[self.gid] = value
+        else:
+            self._start_time = value
+
+    @property
+    def end_time(self) -> Optional[float]:
+        g = self.graph
+        return g.end_time[self.gid] if g is not None else self._end_time
+
+    @end_time.setter
+    def end_time(self, value: Optional[float]) -> None:
+        g = self.graph
+        if g is not None:
+            g.end_time[self.gid] = value
+        else:
+            self._end_time = value
 
     @property
     def unfinished_preds(self) -> int:

@@ -4,6 +4,13 @@ A :class:`TraceRecorder` collects per-task execution records so that examples
 can print Gantt-style views (in the spirit of BSC's Paraver traces) and tests
 can assert scheduling invariants such as "no core runs two tasks at once" and
 "no task starts before its predecessors finished".
+
+Since the task lifecycle timestamps moved into :class:`TaskGraph` arrays
+(PR 5), live recording is pure *optional* cost: a run executed with
+``record_trace=False`` can still produce a trace afterwards via
+:meth:`TraceRecorder.from_graph`, which rebuilds the records from the
+graph's ``start_time``/``end_time``/``critical`` arrays and the task
+handles' dispatch bookkeeping.
 """
 
 from __future__ import annotations
@@ -39,6 +46,59 @@ class TraceRecorder:
 
     def record(self, record: TraceRecord) -> None:
         self.records.append(record)
+
+    @classmethod
+    def from_graph(cls, graph, machine=None) -> "TraceRecorder":
+        """Rebuild a trace from a graph's array-native timestamps.
+
+        Produces one record per finished task whose handle is still held
+        by the graph (streaming mode releases retired handles — those
+        tasks' timestamps remain in the arrays for :mod:`repro.core.analytics`,
+        but their labels/cores are gone, so they are skipped here).
+        Frequencies are not part of the lifecycle arrays; with a
+        ``machine`` the *current* per-core frequency is used, otherwise
+        0.0 — live recording is authoritative for DVFS-varying runs.
+        Records are emitted in start-time order.
+        """
+        from ..core.task import TaskState  # sim->core: runtime-only import
+
+        trace = cls()
+        start_arr = graph.start_time
+        end_arr = graph.end_time
+        critical = graph.critical
+        state_arr = graph.state
+        finished = TaskState.FINISHED
+        tasks = graph.tasks
+        rows = []
+        for gid in range(len(tasks)):
+            # end_time is stamped at dispatch, so finished-ness must come
+            # from the state array, not from a non-None end time.
+            if state_arr[gid] is not finished:
+                continue
+            task = tasks[gid]
+            if task is None or task.core_id is None:
+                continue
+            start = start_arr[gid]
+            end = end_arr[gid]
+            freq = (
+                machine.cores[task.core_id].frequency_ghz
+                if machine is not None
+                else 0.0
+            )
+            rows.append(
+                TraceRecord(
+                    task_id=task.task_id,
+                    task_label=task.label,
+                    core_id=task.core_id,
+                    start=start,
+                    end=end,
+                    frequency_ghz=freq,
+                    critical=critical[gid],
+                )
+            )
+        rows.sort(key=lambda r: (r.start, r.core_id))
+        trace.records.extend(rows)
+        return trace
 
     def __len__(self) -> int:
         return len(self.records)

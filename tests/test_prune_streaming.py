@@ -1,0 +1,337 @@
+"""Watermark pruning (streaming mode): equivalence, memory, gc.
+
+Three pillars:
+
+* **Prune-equivalence property suite** — randomized interleaved-window
+  programs (submit → taskwait → submit more, so later windows derive
+  edges from finished tasks) must produce bit-identical makespans,
+  energy, stats *and depth arrays* across ``prune_every`` ∈
+  {off, 1, 17, 4096} for all seven schedulers.  This pins the ghost-depth
+  replay: pruning may only drop readiness-neutral bookkeeping, never
+  shift an execution.
+* **Memory boundedness** — pruning bounds the tracker's member entries
+  and strong Task references, and releases the graph's handles.
+* **GC regression** — retired tasks must actually be collectible once
+  the caller's references lapse; in particular, kept last-writer entries
+  must not pin Task objects (the bug this PR fixes).
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.apps.dag_workloads import stream_window
+from repro.campaign.runner import SCHEDULERS
+from repro.core.deps import DependenceTracker
+from repro.core.runtime import Runtime
+from repro.core.task import Region, Task, TaskState
+from repro.sim.machine import Machine
+
+PRUNE_SETTINGS = (0, 1, 17, 4096)
+
+
+# ----------------------------------------------------------------------
+# randomized interleaved-window programs
+# ----------------------------------------------------------------------
+def random_program(seed: int, n_windows: int = 3, window: int = 24):
+    """Deterministic windows of tasks over a mixed region namespace.
+
+    Mixes ring buffers (reused every window — WAR/WAW against finished
+    tasks), overlapping interval regions, whole-object accesses sharing a
+    name with intervals (long-tier), fresh per-window scratch, and all
+    five dependence kinds.  Returns a list of window-builder callables so
+    each run constructs fresh Task objects.
+    """
+
+    def build_window(w: int, rng: np.random.Generator):
+        tasks = []
+        for j in range(window):
+            kind_u = rng.random()
+            deps = {}
+            regions = []
+            n_access = 1 + int(rng.integers(0, 3))
+            for _ in range(n_access):
+                shape = rng.random()
+                if shape < 0.35:
+                    regions.append(Region.interned(f"ring{rng.integers(0, 6)}"))
+                elif shape < 0.7:
+                    a = int(rng.integers(0, 40))
+                    b = a + 1 + int(rng.integers(0, 8))
+                    regions.append(Region.interned(("arr", a, b)))
+                elif shape < 0.85:
+                    regions.append(Region.interned("arr"))  # whole object
+                else:
+                    regions.append(
+                        Region.interned((f"w{w}tmp", j, j + 1))
+                    )
+            if kind_u < 0.3:
+                deps["in_"] = regions
+            elif kind_u < 0.55:
+                deps["out"] = regions
+            elif kind_u < 0.8:
+                deps["inout"] = regions
+            elif kind_u < 0.9:
+                deps["concurrent"] = regions
+            else:
+                deps["commutative"] = regions
+            tasks.append(
+                Task.make(
+                    f"w{w}.t{j}",
+                    cpu_cycles=float(rng.integers(1, 20)) * 1e5,
+                    mem_seconds=float(rng.integers(0, 3)) * 1e-4,
+                    **deps,
+                )
+            )
+        return tasks
+
+    def run(scheduler_name: str, prune_every: int):
+        rng = np.random.default_rng(seed)
+        windows = [build_window(w, rng) for w in range(n_windows)]
+        machine = Machine(4, initial_level=2)
+        rt = Runtime(
+            machine,
+            scheduler=SCHEDULERS[scheduler_name](4),
+            record_trace=False,
+            prune_every=prune_every,
+        )
+        for tasks in windows:
+            rt.submit_all(tasks)
+            rt.taskwait()
+        machine.finalize()
+        rt.tracker.invalidate_region_caches()
+        return {
+            "makespan": machine.sim.now,
+            "energy": machine.total_energy_j(),
+            "stats": rt.stats.as_dict(),
+            "depth": list(rt.graph.depth),
+            "unfinished": list(rt.graph.unfinished_preds),
+        }
+
+    return run
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_prune_equivalence_all_schedulers(seed):
+    run = random_program(seed)
+    for scheduler in SCHEDULERS:
+        baseline = run(scheduler, 0)
+        assert baseline["makespan"] > 0
+        for prune_every in PRUNE_SETTINGS[1:]:
+            pruned = run(scheduler, prune_every)
+            for key in ("makespan", "energy", "stats", "depth", "unfinished"):
+                if key == "stats":
+                    # Pruning adds its own counters; every shared counter
+                    # must agree exactly.
+                    base_stats = baseline["stats"]
+                    got = {
+                        k: v
+                        for k, v in pruned["stats"].items()
+                        if k in base_stats
+                    }
+                    assert got == base_stats, (scheduler, prune_every)
+                else:
+                    assert pruned[key] == baseline[key], (
+                        scheduler, prune_every, key,
+                    )
+
+
+def test_prune_equivalence_streaming_workload():
+    """The ring-buffer streaming family, prune on vs off, all schedulers."""
+    for scheduler in ("fifo", "breadth_first", "work_stealing"):
+        results = []
+        for prune_every in (0, 32):
+            machine = Machine(8, initial_level=2)
+            rt = Runtime(
+                machine,
+                scheduler=SCHEDULERS[scheduler](8),
+                record_trace=False,
+                prune_every=prune_every,
+            )
+            for w in range(5):
+                rt.submit_all(
+                    stream_window(w, n_buffers=16, n_tasks=64, seed=7)
+                )
+                rt.taskwait()
+            rt.tracker.invalidate_region_caches()
+            results.append((machine.sim.now, list(rt.graph.depth)))
+        assert results[0] == results[1], scheduler
+
+
+# ----------------------------------------------------------------------
+# memory boundedness
+# ----------------------------------------------------------------------
+def _stream(prune_every, windows=4, n_tasks=64, n_buffers=16):
+    rt = Runtime(
+        Machine(4, initial_level=2),
+        record_trace=False,
+        prune_every=prune_every,
+    )
+    for w in range(windows):
+        rt.submit_all(
+            stream_window(w, n_buffers=n_buffers, n_tasks=n_tasks, seed=5)
+        )
+        rt.taskwait()
+    return rt
+
+
+def test_watermark_releases_graph_handles():
+    rt = _stream(prune_every=16)
+    total = 4 * 64
+    assert len(rt.graph) == total
+    # Everything at/past the last watermark is released.
+    assert rt.graph.live_handles() == 0
+    assert rt.stats.get("prune_passes") == total // 16
+    assert rt.stats.get("tasks_retired") == total
+    rt.tracker.invalidate_region_caches()
+
+
+def test_watermark_off_by_default_keeps_handles():
+    rt = _stream(prune_every=0)
+    assert rt.graph.live_handles() == 4 * 64
+    assert rt.stats.get("prune_passes") == 0
+    rt.tracker.invalidate_region_caches()
+
+
+def test_prune_bounds_tracker_refs():
+    pruned = _stream(prune_every=16)
+    unpruned = _stream(prune_every=0)
+    assert pruned.tracker.live_task_refs == 0
+    assert unpruned.tracker.live_task_refs > 0
+    # Histories themselves stay (bounded by the ring), members shrink.
+    assert pruned.tracker.live_regions == unpruned.tracker.live_regions
+    assert pruned.tracker.live_members <= unpruned.tracker.live_members
+    pruned.tracker.invalidate_region_caches()
+    unpruned.tracker.invalidate_region_caches()
+
+
+def test_prune_rejects_per_edge_submission_model():
+    """Pruning shrinks later registrations' edge counts, so per-edge
+    pricing would silently diverge from the unpruned run — the
+    constructor must refuse the combination."""
+    from repro.sim.tdg_accel import SubmissionModel
+
+    model = SubmissionModel(base_s=1e-6, per_dep_s=0.0, per_edge_s=1e-6)
+    with pytest.raises(ValueError, match="per_edge_s"):
+        Runtime(Machine(2), submission=model, prune_every=8)
+    # Edge-price-free models remain allowed.
+    Runtime(
+        Machine(2),
+        submission=SubmissionModel(base_s=1e-6, per_dep_s=0.0),
+        prune_every=8,
+    )
+
+
+def test_run_scenario_invalidates_region_caches():
+    """Long-lived campaign workers must not leak tracker state through
+    interned-region caches, even across scenarios."""
+    from repro.campaign.matrix import Scenario
+    from repro.campaign.runner import run_scenario
+    from repro.core.task import _REGION_INTERN, clear_region_intern
+
+    # Start from an empty intern table so the check below sees exactly
+    # the regions this scenario interned (earlier tests may legitimately
+    # leave their own caches behind).
+    clear_region_intern()
+    record = run_scenario(Scenario("cholesky", scheduler="fifo", scale=1))
+    assert record["status"] == "ok"
+    assert len(_REGION_INTERN) > 0
+    assert all(
+        r._hist_owner is None for r in _REGION_INTERN.values()
+    )
+
+
+def test_release_handles_rejects_unfinished():
+    rt = Runtime(Machine(2), record_trace=False)
+    task = rt.submit(Task.make("t", cpu_cycles=1e6))
+    with pytest.raises(ValueError, match="unfinished"):
+        rt.graph.release_handles([task.gid])
+
+
+# ----------------------------------------------------------------------
+# gc regression: retired tasks are collectible
+# ----------------------------------------------------------------------
+class _Canary:
+    """Weakref-able stand-in: Task is slotted without __weakref__, so we
+    hang one canary off each task (sole strong ref) — the canary dies
+    exactly when its task does."""
+
+
+def _run_and_collect_refs(prune_every):
+    rt = Runtime(
+        Machine(4, initial_level=2),
+        record_trace=False,
+        prune_every=prune_every,
+    )
+    def attach(task):
+        task.result = _Canary()
+        return weakref.ref(task.result)
+
+    refs = []
+    for w in range(3):
+        tasks = stream_window(w, n_buffers=8, n_tasks=32, seed=9)
+        # Comprehension scope: no stray frame-local keeps the last task.
+        refs.extend([attach(t) for t in tasks])
+        rt.submit_all(tasks)
+        rt.taskwait()
+        del tasks
+    rt.tracker.invalidate_region_caches()
+    # Keep the runtime alive: the graph/tracker must not be what frees
+    # the tasks — pruning must have dropped the strong refs already.
+    gc.collect()
+    dead = sum(1 for r in refs if r() is None)
+    return rt, dead, len(refs)
+
+
+def test_pruned_tasks_are_garbage_collected():
+    rt, dead, total = _run_and_collect_refs(prune_every=8)
+    assert dead == total, f"only {dead}/{total} retired tasks collectible"
+    del rt
+
+
+def test_unpruned_tasks_stay_pinned():
+    rt, dead, total = _run_and_collect_refs(prune_every=0)
+    assert dead == 0
+    del rt
+
+
+def test_prune_drops_last_writer_strong_ref_but_keeps_edge():
+    """The satellite fix: a kept last-writer entry holds gid + None, not
+    the Task — yet a later reader still derives the RAW edge from it."""
+    rt = Runtime(Machine(2, initial_level=2), record_trace=False,
+                 prune_every=1)
+    writer = rt.submit(
+        Task.make("w", cpu_cycles=1e6, out=[Region.interned("shared_x")])
+    )
+    rt.taskwait()
+    writer_gid = writer.gid
+    writer.result = _Canary()
+    ref = weakref.ref(writer.result)
+    assert rt.tracker.live_task_refs == 0  # value already None
+    del writer
+    gc.collect()
+    assert ref() is None
+    # A new reader still chains off the retired writer by gid.
+    reader = rt.submit(
+        Task.make("r", cpu_cycles=1e6, in_=[Region.interned("shared_x")])
+    )
+    assert writer_gid in rt.graph.pred_ids[reader.gid]
+    rt.taskwait()
+    rt.tracker.invalidate_region_caches()
+
+
+def test_detached_prune_keeps_task_refs():
+    """Standalone (graphless) tracker use: pruning must keep detached
+    last-writer Task objects, because there is no graph to resolve gids."""
+    tr = DependenceTracker()
+    w0 = Task.make("w0", inout=["x"])
+    w1 = Task.make("w1", inout=["x"])
+    tr.register(w0)
+    tr.register(w1)
+    w0.state = TaskState.FINISHED
+    w1.state = TaskState.FINISHED
+    tr.prune_finished()
+    r = Task.make("r", in_=["x"])
+    edges = {(p.label, s.label) for p, s in tr.register(r)}
+    assert edges == {("w1", "r")}
