@@ -291,7 +291,7 @@ def generate_trace(
     Per-core program order is preserved; cores interleave every ``chunk``
     accesses, which is what exercises the coherence protocol realistically.
     """
-    params = params or MemoryParams()
+    params = params if params is not None else MemoryParams()
     rng = np.random.default_rng(seed)
     seqs = [
         _core_sequence(wl, c, n_cores, accesses_per_core, rng, params)
@@ -308,7 +308,7 @@ def strided_regions(
     params: MemoryParams | None = None,
 ) -> List[Tuple[int, int]]:
     """(base, nbytes) of every strided array, for filter registration."""
-    params = params or MemoryParams()
+    params = params if params is not None else MemoryParams()
     core_chunk = core_chunk_bytes(wl, accesses_per_core, params)
     return [
         (stream_base(s), n_cores * core_chunk) for s in range(wl.n_streams)
@@ -343,7 +343,7 @@ def run_nas(
 ) -> NasRunResult:
     """Run one NAS model on one hierarchy configuration."""
     wl = NAS_BENCHMARKS[name.upper()]
-    params = params or MemoryParams()
+    params = params if params is not None else MemoryParams()
     hier = MemoryHierarchy(n_cores, mode=mode, params=params)
     for base, nbytes in strided_regions(wl, n_cores, accesses_per_core, params):
         hier.register_filter_region(base, nbytes)
@@ -386,7 +386,7 @@ def fig1_speedups(
     Returns ``{bench: {"time": x, "energy": x, "noc": x}}`` plus an ``AVG``
     row (arithmetic mean, matching the paper's AVG bar).
     """
-    benchmarks = benchmarks or list(NAS_BENCHMARKS)
+    benchmarks = benchmarks if benchmarks is not None else list(NAS_BENCHMARKS)
     out: Dict[str, Dict[str, float]] = {}
     for b in benchmarks:
         base = run_nas(b, "cache", n_cores, accesses_per_core, seed)

@@ -164,7 +164,7 @@ class Fig2Result:
 def fig2_experiment(
     wl: Optional[CriticalityWorkload] = None, n_cores: int = 32
 ) -> Fig2Result:
-    wl = wl or CriticalityWorkload()
+    wl = wl if wl is not None else CriticalityWorkload()
     static = run_static(wl, n_cores)
     aware = run_criticality_aware(wl, n_cores)
     return Fig2Result(

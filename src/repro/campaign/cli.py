@@ -10,7 +10,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .presets import PRESETS, build_preset
 from .report import compare_stores, render_table, summarize
@@ -20,7 +20,7 @@ from .store import ResultStore, merge_stores
 __all__ = ["main"]
 
 
-def _parse_shard(text: str):
+def _parse_shard(text: str) -> Tuple[int, int]:
     try:
         index, count = (int(part) for part in text.split("/"))
     except ValueError:
@@ -97,7 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     matrix = build_preset(args.preset)
     store = ResultStore(args.store) if args.store else None
 
@@ -134,7 +134,7 @@ def _existing_store(path: str) -> ResultStore:
     return ResultStore(path)
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     store = _existing_store(args.store)
     headers, body = summarize(
         store.records(),
@@ -153,7 +153,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
+def _cmd_compare(args: argparse.Namespace) -> int:
     baseline = _existing_store(args.baseline)
     if len(baseline) == 0:
         raise SystemExit(
@@ -168,7 +168,7 @@ def _cmd_compare(args) -> int:
     return 0 if result.ok else 1
 
 
-def _cmd_merge(args) -> int:
+def _cmd_merge(args: argparse.Namespace) -> int:
     inputs = [_existing_store(path) for path in args.inputs]
     if os.path.exists(args.out) and not args.force:
         raise SystemExit(

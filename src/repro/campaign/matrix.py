@@ -160,7 +160,7 @@ class Matrix:
         params: Optional[Dict[str, Any]] = None,
     ) -> "Matrix":
         """Cross product of the axis value lists, in deterministic order."""
-        fixed = tuple(sorted((params or {}).items()))
+        fixed = tuple(sorted(params.items())) if params is not None else ()
         scenarios = tuple(
             Scenario(
                 family=f,

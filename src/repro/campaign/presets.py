@@ -7,7 +7,7 @@ another; ``build_preset(name)`` returns a fresh :class:`~.matrix.Matrix`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from .matrix import Matrix, Scenario
 
@@ -241,7 +241,7 @@ def preset_names() -> List[str]:
     return list(PRESETS)
 
 
-def build_preset(name: str, **kwargs) -> Matrix:
+def build_preset(name: str, **kwargs: Any) -> Matrix:
     """Instantiate a preset matrix by name (kwargs go to the factory)."""
     try:
         _, factory = PRESETS[name]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.stats import StatSet, geometric_mean
 from .store import ResultStore
@@ -34,7 +34,7 @@ __all__ = [
 DEFAULT_METRICS = ("makespan", "energy_j", "edp")
 
 
-def _axis_value(record: dict, axis: str):
+def _axis_value(record: dict, axis: str) -> Any:
     if axis in record["scenario"]:
         return record["scenario"][axis]
     return record["scenario"].get("params", {}).get(axis)

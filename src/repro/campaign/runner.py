@@ -42,6 +42,7 @@ from ..core.criticality import (
     CriticalPathOracle,
 )
 from ..core.runtime import Runtime
+from ..core.task import Task
 from ..core.schedulers import (
     BottomLevelScheduler,
     BreadthFirstScheduler,
@@ -130,14 +131,14 @@ class _TaskCollector:
     """Duck-typed Runtime stand-in for the PARSEC graph builders."""
 
     def __init__(self) -> None:
-        self.tasks: List = []
+        self.tasks: List[Task] = []
 
-    def submit(self, task):
+    def submit(self, task: Task) -> Task:
         self.tasks.append(task)
         return task
 
 
-def _build_workload(scenario: Scenario) -> List:
+def _build_workload(scenario: Scenario) -> List[Task]:
     """Materialise the scenario's task list from its family + knobs.
 
     Scenario params prefixed ``wl_`` are workload-shape knobs forwarded
@@ -429,7 +430,7 @@ def run_campaign(
 
     todo: List[Scenario] = []
     for scenario in work:
-        cached = store.get(scenario.scenario_id) if (store and resume) else None
+        cached = store.get(scenario.scenario_id) if (store is not None and resume) else None
         if cached is not None and (
             cached["status"] == "ok" or not retry_errors
         ):

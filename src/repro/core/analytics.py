@@ -24,7 +24,7 @@ ad-hoc pivots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .task import TaskState
 
@@ -45,7 +45,9 @@ __all__ = [
 ]
 
 
-def timestamp_table(graph: "TaskGraph", as_numpy: Optional[bool] = None):
+def timestamp_table(
+    graph: "TaskGraph", as_numpy: Optional[bool] = None
+) -> Dict[str, Any]:
     """The lifecycle columns of every *finished* task, as parallel arrays.
 
     Returns a dict with ``gid``, ``depth``, ``critical``, ``submit``,

@@ -23,7 +23,7 @@ expressed, playing the role of OmpSs's array-section syntax
 from __future__ import annotations
 
 import functools
-from typing import Callable, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from .runtime import Runtime
 from .task import Task
@@ -57,7 +57,7 @@ class TaskifiedFunction:
     ) -> None:
         functools.update_wrapper(self, fn)
         self.fn = fn
-        self.label = label or fn.__name__
+        self.label = label if label is not None else fn.__name__
         self.cpu_cycles = cpu_cycles
         self.mem_seconds = mem_seconds
         self.in_ = in_
@@ -67,11 +67,11 @@ class TaskifiedFunction:
         self.commutative = commutative
         self.priority = priority
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         """Direct call: run the body immediately (sequential semantics)."""
         return self.fn(*args, **kwargs)
 
-    def make_task(self, *args, **kwargs) -> Task:
+    def make_task(self, *args: Any, **kwargs: Any) -> Task:
         """Build (but do not submit) one task instance for this call."""
         cost = self.cpu_cycles(*args, **kwargs) if callable(self.cpu_cycles) else self.cpu_cycles
         mem = self.mem_seconds(*args, **kwargs) if callable(self.mem_seconds) else self.mem_seconds
@@ -90,7 +90,7 @@ class TaskifiedFunction:
             priority=self.priority,
         )
 
-    def spawn(self, runtime: Runtime, *args, **kwargs) -> Task:
+    def spawn(self, runtime: Runtime, *args: Any, **kwargs: Any) -> Task:
         """Submit one task instance of this function to ``runtime``."""
         return runtime.submit(self.make_task(*args, **kwargs))
 

@@ -105,7 +105,7 @@ class AnnotatedCriticality(CriticalityPolicy):
     def __init__(
         self, annotations: Optional[Dict[str, bool]] = None, default: bool = False
     ) -> None:
-        self.annotations = dict(annotations or {})
+        self.annotations = dict(annotations) if annotations is not None else {}
         self.default = default
 
     def is_critical(

@@ -87,7 +87,10 @@ everything edge insertion needs), so retired tasks are collectible.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import TaskGraph
 
 from .task import DepKind, Task, TaskState
 
@@ -531,7 +534,9 @@ class DependenceTracker:
         return preds
 
     # ------------------------------------------------------------------
-    def register_stream(self, source, graph):
+    def register_stream(
+        self, source: Iterable[Task], graph: Optional["TaskGraph"]
+    ) -> Iterator[List[int]]:
         """Generator: ``register_preds`` for a stream of graph-attached
         tasks, with the per-call overhead hoisted out of the loop.
 

@@ -32,7 +32,7 @@ run on demand.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .task import Task, TaskState
 
@@ -53,6 +53,26 @@ class TaskGraph:
     maps a dense id back to its handle — the "id → Task view" schedulers
     and criticality policies are given.
     """
+
+    #: Every gid-indexed parallel array.  Any path that grows or trims
+    #: one of these must grow/trim all of them (lockstep is what makes a
+    #: gid a valid index everywhere) — machine-checked by lint rule RL004.
+    _ARRAY_MANIFEST = (
+        "tasks",
+        "task_ids",
+        "succ_ids",
+        "pred_ids",
+        "unfinished_preds",
+        "depth",
+        "state",
+        "bottom_level",
+        "critical",
+        "submit_time",
+        "ready_time",
+        "start_time",
+        "end_time",
+        "_wake_len",
+    )
 
     def __init__(self) -> None:
         #: gid -> Task handle (the id → Task view).  ``None`` for handles
@@ -428,7 +448,7 @@ class TaskGraph:
         return self.total_work() / cp
 
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a :class:`networkx.DiGraph` (labels + costs as attrs)."""
         import networkx as nx
 

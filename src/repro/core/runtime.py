@@ -48,7 +48,11 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.tdg_accel import SubmissionModel
+    from .prefetch import RuntimePrefetcher
 
 from ..sim.machine import Machine
 from ..sim.rsu import RuntimeSupportUnit
@@ -144,8 +148,8 @@ class Runtime:
         lower_on_idle: bool = False,
         record_trace: bool = True,
         execute_functions: bool = True,
-        submission=None,
-        prefetcher=None,
+        submission: Optional["SubmissionModel"] = None,
+        prefetcher: Optional["RuntimePrefetcher"] = None,
         batch_dispatch: bool = True,
         prune_every: int = 0,
     ) -> None:
@@ -401,7 +405,7 @@ class Runtime:
                 self.stats.add("tasks_submitted", n_done)
         return tasks if n_done == n_new else tasks[:n_done]
 
-    def spawn(self, label: str = "task", **kwargs) -> Task:
+    def spawn(self, label: str = "task", **kwargs: Any) -> Task:
         """Create-and-submit shorthand mirroring ``#pragma omp task``."""
         return self.submit(Task.make(label=label, **kwargs))
 

@@ -149,12 +149,12 @@ class Region:
             and other.start < self.stop
         )
 
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple[str, int, int]:
         # Drop the tracker cache: pickling/deepcopy must never serialise
         # a history chain, and a clone belongs to no tracker.
         return (self.name, self.start, self.stop)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Tuple[str, int, int]) -> None:
         for slot, value in zip(("name", "start", "stop"), state):
             object.__setattr__(self, slot, value)
         object.__setattr__(self, "_hist_owner", None)
@@ -333,7 +333,7 @@ class Task:
             deps=deps,
             fn=fn,
             args=args,
-            kwargs=kwargs or {},
+            kwargs=kwargs if kwargs is not None else {},
             priority=priority,
         )
 

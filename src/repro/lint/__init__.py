@@ -1,0 +1,56 @@
+"""``repro.lint`` — AST-based invariant linter for this reproduction.
+
+The repo's correctness story is *bit-identical determinism* across
+schedulers, worker counts, prune intervals and resume paths.  The test
+suite pins those invariants dynamically; this package enforces the
+statically-checkable half of them on every commit, before any scenario
+runs.  Each rule is named, documented (``docs/lint.md``) and motivated by
+a bug this repo actually shipped — most famously RL001, the
+``scheduler or FifoScheduler()`` pattern that silently ran FIFO on every
+scheduler-axis sweep from PR 1 until PR 4.
+
+Rules
+-----
+* **RL001** — truthiness guard on sized objects: ``x or default`` /
+  ``if x:`` where ``x`` may be ``None`` and its class defines ``__len__``
+  conflates *absent* with *empty*; require ``is not None``.
+* **RL002** — determinism: no unseeded ``random`` / ``numpy.random``
+  module-level calls, no wall-clock reads outside the timing/bench
+  whitelist, no set-ordered iteration feeding ordering-sensitive sinks
+  in ``repro.core`` / ``repro.sim``.
+* **RL003** — ``__slots__`` discipline: no undeclared ``self.X``
+  assignments across a fully-slotted inheritance chain; cache slots must
+  stay out of ``__eq__`` / ``__hash__`` / ``__getstate__`` /
+  ``__reduce__``.
+* **RL004** — parallel-array lockstep: every entry of a class's
+  ``_ARRAY_MANIFEST`` grows and shrinks together (append / bulk-extend /
+  slice-delete paths must cover the whole manifest).
+* **RL005** — pickle-boundary safety: values built into ``Scenario``
+  payloads and campaign records must come from picklable, worker-stable
+  constructs (no lambdas, generators, or unordered set displays).
+
+Usage
+-----
+``python -m repro.lint src/`` (exit 1 on findings), or programmatically::
+
+    from repro.lint import run_lint
+    findings = run_lint(["src/repro"])
+
+Suppress a single finding with a trailing ``# repro-lint: disable=RL00x``
+comment (``disable=all`` silences every rule on that line).  The tier-1
+suite asserts ``src/`` lints clean and that ``repro.core`` carries zero
+suppressions.
+"""
+
+from .engine import LintResult, iter_python_files, run_lint
+from .findings import Finding
+from .rules import RULES, RuleInfo
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "RuleInfo",
+    "iter_python_files",
+    "run_lint",
+]

@@ -1,0 +1,96 @@
+"""``python -m repro.lint`` — command-line front end."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import run_lint
+from .rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant linter for the repro codebase "
+            "(rules RL001-RL005; see docs/lint.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="output style: human-readable or GitHub Actions annotations",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="RL001,RL002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print findings but exit 0 (for advisory sweeps)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by repro-lint comments",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, info in RULES.items():
+            print(f"{rule_id}: {info.title}")
+            print(f"    {info.rationale}")
+        return 0
+
+    selected = None
+    if args.rules:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = selected - set(RULES)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    result = run_lint(args.paths, rules=selected)
+
+    for path, message in result.errors:
+        print(f"{path}: parse error: {message}", file=sys.stderr)
+
+    for finding in result.findings:
+        if args.format == "github":
+            print(finding.format_github())
+        else:
+            print(finding.format_text())
+
+    if args.show_suppressed:
+        for finding in result.suppressed:
+            print(f"[suppressed] {finding.format_text()}")
+
+    summary = (
+        f"{result.files_scanned} file(s) scanned, "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    print(summary, file=sys.stderr)
+
+    if result.errors:
+        return 2
+    if result.findings and not args.report_only:
+        return 1
+    return 0

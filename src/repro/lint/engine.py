@@ -1,0 +1,149 @@
+"""Two-pass lint driver: index the project, then run rules per file."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, collect_suppressions, is_suppressed
+from .project import ProjectIndex
+from .rules import FileContext, run_rules
+
+__all__ = ["LintResult", "iter_python_files", "run_lint"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build"}
+
+#: The installed ``repro`` package root — always indexed so rules that
+#: need project classes (Scheduler, TaskGraph, Region, ...) resolve them
+#: even when only ``tools/`` or a fixture file is being scanned.
+_REPRO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class LintResult:
+    """Outcome of one ``run_lint`` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: findings silenced by ``# repro-lint: disable=...`` comments.
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    #: (path, message) for files that failed to parse.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[str] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                out.add(str(p))
+        elif p.is_dir():
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for fname in filenames:
+                    if fname.endswith(".py"):
+                        out.add(os.path.join(dirpath, fname))
+    return sorted(out)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted-module guess: everything from the ``repro`` package segment
+    down; bare stem for files outside the package (tools, fixtures)."""
+    parts = Path(path).resolve().with_suffix("").parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            mod = ".".join(parts[i:])
+            return mod[: -len(".__init__")] if mod.endswith(".__init__") else mod
+    return Path(path).stem
+
+
+def _display_path(path: str) -> str:
+    """Path as reported in findings: cwd-relative when possible."""
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive on windows
+        return path
+    return path if rel.startswith("..") else rel
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Set[str]] = None,
+    include_project: bool = True,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    ``rules`` restricts to a subset of rule ids.  ``include_project``
+    additionally indexes (but does not scan) the installed ``repro``
+    package so cross-file class facts resolve; scanned files take
+    precedence in the registry, so fixtures defining their own
+    ``Scheduler``-alikes see their local definitions.
+    """
+    result = LintResult()
+    files = iter_python_files(paths)
+
+    parsed: List[Tuple[str, str, ast.Module, Dict[int, FrozenSet[str]]]] = []
+    index = ProjectIndex()
+    for path in files:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append((_display_path(path), str(exc)))
+            continue
+        display = _display_path(path)
+        module = module_name_for(path)
+        index.add_file(display, module, tree)
+        parsed.append((display, module, tree, collect_suppressions(source)))
+
+    if include_project:
+        scanned = {str(Path(p).resolve()) for p in files}
+        for extra in _iter_repro_package():
+            if str(extra.resolve()) in scanned:
+                continue
+            try:
+                tree = ast.parse(
+                    extra.read_text(encoding="utf-8"), filename=str(extra)
+                )
+            except (SyntaxError, OSError):
+                continue
+            index.add_file(
+                _display_path(str(extra)), module_name_for(str(extra)), tree
+            )
+
+    for display, module, tree, suppressions in parsed:
+        result.files_scanned += 1
+        ctx = FileContext(path=display, module=module, tree=tree, index=index)
+        run_rules(ctx, selected=rules)
+        for finding in ctx.findings:
+            if is_suppressed(finding, suppressions):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)
+    return result
+
+
+def _iter_repro_package() -> Iterable[Path]:
+    for dirpath, dirnames, filenames in os.walk(_REPRO_ROOT):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+        )
+        for fname in sorted(filenames):
+            if fname.endswith(".py"):
+                yield Path(dirpath) / fname

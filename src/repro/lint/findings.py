@@ -1,0 +1,84 @@
+"""Finding records and suppression-comment handling."""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = ["Finding", "collect_suppressions", "is_suppressed"]
+
+#: ``# repro-lint: disable=RL001`` / ``disable=RL001,RL003`` / ``disable=all``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions annotation command (shows inline in CI logs)."""
+        # '%' / CR / LF must be escaped in workflow-command payloads.
+        msg = (
+            self.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{msg}"
+        )
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids suppressed there (``{"all"}`` for all).
+
+    Suppressions are trailing comments on the flagged line::
+
+        self.x = scheduler or Fifo()  # repro-lint: disable=RL001
+
+    Comment extraction uses :mod:`tokenize`, so string literals that merely
+    *contain* the marker text do not suppress anything.
+    """
+    out: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in m.group(1).split(",") if part.strip()
+            )
+            if rules:
+                out[tok.start[0]] = out.get(tok.start[0], frozenset()) | rules
+    except tokenize.TokenError:
+        pass  # a syntactically broken file is reported by the engine instead
+    return out
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, FrozenSet[str]]
+) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return "all" in rules or finding.rule in rules

@@ -75,7 +75,7 @@ class MemoryHierarchy:
             raise ValueError("need at least one core")
         self.n_cores = n_cores
         self.mode = mode
-        self.params = params or MemoryParams()
+        self.params = params if params is not None else MemoryParams()
         p = self.params
 
         self.noc = MeshNoC.square_for(n_cores)

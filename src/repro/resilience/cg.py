@@ -108,7 +108,7 @@ def run_cg(
     numerically usable (no NaNs) or the run will fail to converge —
     nothing here silently repairs a bad scheme.
     """
-    timing = timing or CgTiming()
+    timing = timing if timing is not None else CgTiming()
     n = a.shape[0]
     x = np.zeros(n) if x0 is None else x0.astype(float).copy()
     r = b - a @ x

@@ -51,7 +51,7 @@ class Fig4Setup:
 
 def fig4_curves(setup: Optional[Fig4Setup] = None) -> Dict[str, CgResult]:
     """Run all five mechanisms; returns scheme name -> CgResult."""
-    setup = setup or Fig4Setup()
+    setup = setup if setup is not None else Fig4Setup()
     a = thermal2_proxy(setup.nx, setup.ny, seed=setup.seed)
     _, b = make_rhs(a, seed=setup.seed + 1)
     due = DueEvent(

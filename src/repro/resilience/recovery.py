@@ -177,7 +177,7 @@ def afeir_visible_overhead(
     """
     if recovery_seconds <= 0:
         return 0.0
-    machine = machine or Machine(n_cores)
+    machine = machine if machine is not None else Machine(n_cores)
     rt = Runtime(machine)
     n_iters = max(1, math.ceil(recovery_seconds / iter_seconds) + 1)
     for i in range(n_iters):

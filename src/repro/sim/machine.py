@@ -51,8 +51,8 @@ class Machine:
         if n_cores < 1:
             raise ValueError("need at least one core")
         self.sim = Simulator()
-        self.dvfs = dvfs or DEFAULT_DVFS_TABLE
-        self.power_model = power_model or PowerModel()
+        self.dvfs = dvfs if dvfs is not None else DEFAULT_DVFS_TABLE
+        self.power_model = power_model if power_model is not None else PowerModel()
         if initial_level is None:
             initial_level = self.dvfs.max_level // 2
         self.cores: List[Core] = [

@@ -54,7 +54,7 @@ class MeshNoC:
             raise ValueError("mesh dimensions must be positive")
         self.width = width
         self.height = height
-        self.params = params or NocParams()
+        self.params = params if params is not None else NocParams()
         self.stats = StatSet("noc")
 
     # ------------------------------------------------------------------

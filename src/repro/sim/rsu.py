@@ -82,7 +82,7 @@ class RuntimeSupportUnit:
     ) -> None:
         self.machine = machine
         self.controller = controller
-        policy = policy or RsuPolicy()
+        policy = policy if policy is not None else RsuPolicy()
         table = machine.dvfs
         self.boost_level = (
             table.max_level if policy.boost_level is None else policy.boost_level

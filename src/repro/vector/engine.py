@@ -61,7 +61,7 @@ class VectorEngine:
             raise ValueError("lanes must be in [1, mvl]")
         self.mvl = mvl
         self.lanes = lanes
-        self.params = params or VectorParams()
+        self.params = params if params is not None else VectorParams()
         self.parallel_vpi = (lanes > 1) if parallel_vpi is None else parallel_vpi
         self.cycles: float = 0.0
         self.instructions: int = 0

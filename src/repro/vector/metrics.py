@@ -54,7 +54,7 @@ def measure_sort(
     params: Optional[VectorParams] = None,
 ) -> SortMeasurement:
     """Run one sort on random keys, verify the result, return the metrics."""
-    params = params or VectorParams()
+    params = params if params is not None else VectorParams()
     keys = random_keys(n, seed)
     engine = VectorEngine(mvl=mvl, lanes=lanes, params=params)
     result = SORT_ALGORITHMS[algorithm](engine, keys)

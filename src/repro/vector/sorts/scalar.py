@@ -22,7 +22,7 @@ __all__ = ["scalar_sort", "scalar_sort_cycles", "scalar_radix_cycles"]
 
 def scalar_sort_cycles(n: int, params: VectorParams | None = None) -> float:
     """Cycle cost of the scalar comparison-sort baseline (fixed CPT)."""
-    params = params or VectorParams()
+    params = params if params is not None else VectorParams()
     return params.scalar_sort_cpt * n
 
 

@@ -1,0 +1,11 @@
+"""RL005 bad fixture — campaign record holding set/generator values
+(path is under a ``repro/campaign`` segment so record checks run)."""
+
+
+def make_record(scenario, makespans):
+    record = {
+        "scenario_id": scenario.scenario_id,
+        "cores_seen": {m.core for m in makespans},  # set: unordered JSONL
+    }
+    record["samples"] = (m.value for m in makespans)  # generator
+    return record

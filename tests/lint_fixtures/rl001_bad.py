@@ -1,0 +1,38 @@
+"""RL001 bad fixture — the PR 1 FIFO-regression pattern, verbatim.
+
+An empty scheduler is falsy (``Scheduler.__len__``), so ``or`` replaces
+every freshly-constructed scheduler with FIFO.  This exact shape shipped
+in PR 1 and survived until PR 4.
+"""
+
+from typing import List, Optional
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self._ready: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+
+class FifoScheduler(Scheduler):
+    pass
+
+
+class Runtime:
+    def __init__(self, scheduler: Optional[Scheduler] = None) -> None:
+        self.scheduler = scheduler or FifoScheduler()  # <- the bug
+
+
+def submit_batch(pending: Optional[List[int]]) -> List[int]:
+    # Truthiness on an Optional list conflates "no batch" with "empty
+    # batch" — an empty list is a legal batch.
+    if pending:
+        return pending
+    return []
+
+
+def resolve(store: Optional[dict], resume: bool) -> Optional[dict]:
+    # Boolean operand position counts too (the runner.py:432 bug).
+    return store if (store and resume) else None

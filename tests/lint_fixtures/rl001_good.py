@@ -1,0 +1,47 @@
+"""RL001 good fixture — presence tested with ``is not None``."""
+
+from typing import List, Optional
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self._ready: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+
+class FifoScheduler(Scheduler):
+    pass
+
+
+class Runtime:
+    def __init__(self, scheduler: Optional[Scheduler] = None) -> None:
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+
+    def drain(self) -> int:
+        # Truthiness on a non-Optional scheduler is a legitimate O(1)
+        # emptiness check — not a presence test.
+        if not self.scheduler:
+            return 0
+        return len(self.scheduler)
+
+
+def submit_batch(pending: Optional[List[int]]) -> List[int]:
+    if pending is None:
+        return []
+    if pending:  # narrowed: plain emptiness check is fine now
+        return list(pending)
+    return []
+
+
+def guarded(sched: Optional[Scheduler]) -> Optional[Scheduler]:
+    # `x is None or ...` narrows the right operand.
+    if sched is None or len(sched) == 0:
+        return None
+    return sched
+
+
+def early_exit(sched: Optional[Scheduler]) -> int:
+    assert sched is not None
+    return 1 if sched else 0

@@ -1,0 +1,28 @@
+"""RL002 bad fixture — global RNG state and wall-clock reads."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+from time import perf_counter
+
+
+def jitter() -> float:
+    return random.random()  # global RNG state
+
+
+def shuffle_ids(ids) -> None:
+    np.random.shuffle(ids)  # global numpy RNG state
+
+
+def stamp() -> float:
+    return time.time()  # wall clock outside the whitelist
+
+
+def stamp_iso() -> str:
+    return datetime.now().isoformat()  # wall clock
+
+
+def tick() -> float:
+    return perf_counter()  # wall clock via from-import

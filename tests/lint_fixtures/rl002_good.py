@@ -1,0 +1,20 @@
+"""RL002 good fixture — seeded generators, no host clock."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def shuffle_ids(ids, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    rng.shuffle(ids)
+
+
+def stamp(sim_now: float) -> float:
+    # Simulated clocks come from the event loop, not the host.
+    return sim_now

@@ -1,0 +1,39 @@
+"""RL003 bad fixture — undeclared slots and cache-slot leaks."""
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Node:
+    __slots__ = ("gid", "label")
+
+    def __init__(self, gid: int, label: str) -> None:
+        self.gid = gid
+        self.label = label
+        self.extra = {}  # undeclared slot: AttributeError on first use
+
+    def retag(self, label: str) -> None:
+        self.tag = label  # undeclared slot outside __init__
+
+
+class FrozenNode:
+    __slots__ = ("gid",)
+
+    def __init__(self, gid: int) -> None:
+        object.__setattr__(self, "gid", gid)
+        object.__setattr__(self, "shadow", gid)  # undeclared slot
+
+
+@dataclass(frozen=True, slots=True)
+class Interned:
+    name: str
+    # identity-cache slot (compare=False, init=False) ...
+    _cache: Optional[Any] = field(default=None, init=False, repr=False, compare=False)
+
+    # ... but no __getstate__, so pickling drags the cache along, and
+    # __eq__/__hash__ read it, so interning state leaks into identity.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Interned) and self._cache is other._cache
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self._cache)))

@@ -1,0 +1,31 @@
+"""RL003 good fixture — declared slots, caches out of identity/pickle."""
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class Node:
+    __slots__ = ("gid", "label", "extra")
+
+    def __init__(self, gid: int, label: str) -> None:
+        self.gid = gid
+        self.label = label
+        self.extra = {}
+
+    def retag(self, label: str) -> None:
+        self.label = label
+
+
+@dataclass(frozen=True, slots=True)
+class Interned:
+    name: str
+    _cache: Optional[Any] = field(default=None, init=False, repr=False, compare=False)
+
+    # Generated __eq__/__hash__ already skip compare=False fields; pickle
+    # state is reduced to the real fields only.
+    def __getstate__(self) -> Tuple[str]:
+        return (self.name,)
+
+    def __setstate__(self, state: Tuple[str]) -> None:
+        object.__setattr__(self, "name", state[0])
+        object.__setattr__(self, "_cache", None)

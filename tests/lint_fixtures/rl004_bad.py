@@ -1,0 +1,32 @@
+"""RL004 bad fixture — parallel arrays grown and trimmed out of lockstep."""
+
+from typing import List
+
+
+class Columns:
+    _ARRAY_MANIFEST = ("vals", "tags", "flags")
+
+    def __init__(self) -> None:
+        self.vals: List[int] = []
+        self.tags: List[str] = []
+        self.flags: List[bool] = []
+
+    def add(self, v: int, tag: str) -> int:
+        gid = len(self.vals)
+        self.vals.append(v)
+        self.tags.append(tag)
+        # flags not appended: every gid after this one mis-indexes flags
+        return gid
+
+
+def bulk_load(cols: Columns, vs, ts) -> None:
+    vals = cols.vals
+    vals.extend(vs)
+    cols.tags.extend(ts)
+    # flags not extended
+
+
+def trim(cols: Columns, cut: int) -> None:
+    for arr in (cols.vals, cols.tags):
+        del arr[cut:]
+    # flags not trimmed

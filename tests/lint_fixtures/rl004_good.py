@@ -1,0 +1,31 @@
+"""RL004 good fixture — full-manifest lockstep on every grow/trim path."""
+
+from typing import List
+
+
+class Columns:
+    _ARRAY_MANIFEST = ("vals", "tags", "flags")
+
+    def __init__(self) -> None:
+        self.vals: List[int] = []
+        self.tags: List[str] = []
+        self.flags: List[bool] = []
+
+    def add(self, v: int, tag: str) -> int:
+        gid = len(self.vals)
+        self.vals.append(v)
+        self.tags.append(tag)
+        self.flags.append(False)
+        return gid
+
+
+def bulk_load(cols: Columns, vs, ts) -> None:
+    vals = cols.vals
+    vals.extend(vs)
+    cols.tags.extend(ts)
+    cols.flags.extend([False] * len(vs))
+
+
+def trim(cols: Columns, cut: int) -> None:
+    for arr in (cols.vals, cols.tags, cols.flags):
+        del arr[cut:]

@@ -1,0 +1,13 @@
+"""RL005 bad fixture — unpicklable / unordered values in Scenario payloads."""
+
+
+def build(Scenario):
+    return Scenario(
+        name="demo",
+        scheduler="fifo",
+        params={
+            "transform": lambda g: g,          # unpicklable
+            "cores": {1, 2, 4},                # unordered serialisation
+            "trace": (t for t in range(4)),    # single-shot iterator
+        },
+    )

@@ -1,0 +1,13 @@
+"""RL005 good fixture — JSON-scalar payloads, deterministic order."""
+
+
+def build(Scenario):
+    return Scenario(
+        name="demo",
+        scheduler="fifo",
+        params={
+            "transform": "identity",
+            "cores": sorted([4, 2, 1]),
+            "trace": [0, 1, 2, 3],
+        },
+    )
