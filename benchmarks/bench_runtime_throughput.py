@@ -41,6 +41,7 @@ from repro.campaign import run_campaign
 from repro.campaign.presets import build_preset
 from repro.core.runtime import Runtime
 from repro.core.schedulers import FifoScheduler
+from repro.obs import scoped
 from repro.sim.machine import Machine
 
 from conftest import banner, table
@@ -77,6 +78,79 @@ def run_family(name: str, scale: int = SCALE, seed: int = SEED):
     res = rt.run()
     host_s = time.perf_counter() - t0
     return len(tasks), host_s, tdg_s, res
+
+
+def run_family_profiled(name: str, scale: int = SCALE, seed: int = SEED):
+    """:func:`run_family` under an enabled metrics registry.
+
+    Returns ``(n_tasks, registry)`` — the registry carries the phase
+    spans (``tdg_build``/``graph_analysis``/``simulate``), the
+    ``dispatch`` timer and the end-of-run component counters that
+    ``--profile`` tabulates.
+    """
+    with scoped() as registry:
+        tasks = make_workload(name, scale=scale, seed=seed)
+        machine = Machine(N_CORES, initial_level=2)
+        rt = Runtime(machine, scheduler=FifoScheduler(), record_trace=False)
+        rt.submit_all(tasks)
+        rt.run()
+    return len(tasks), registry
+
+
+def report_profile(scale: int = SCALE, seed: int = SEED):
+    """Phase breakdown + runtime-counter table (``--profile``).
+
+    The observability answer to "which loop is the interpreter-dispatch
+    constant factor?" — per family, the host time in each runtime phase
+    and the hot-path counters behind it, measured with counters enabled
+    (overhead ≤2%% on the throughput bench; see docs/observability.md).
+    """
+    phase_rows = []
+    counters_by_family = {}
+    counter_names: set = set()
+    for name in FAMILIES:
+        n_tasks, registry = run_family_profiled(name, scale=scale, seed=seed)
+        spans = registry.span_totals()
+        timers = registry.timers
+
+        def _ms(table_, key):
+            slot = table_.get(key)
+            return f"{slot[0] * 1e3:.1f} ms" if slot is not None else "-"
+
+        phase_rows.append(
+            [
+                name,
+                n_tasks,
+                _ms(spans, "tdg_build"),
+                _ms(spans, "graph_analysis"),
+                _ms(timers, "dispatch"),
+                _ms(spans, "simulate"),
+            ]
+        )
+        counters_by_family[name] = registry.counters
+        counter_names.update(registry.counters)
+    banner(
+        f"Phase breakdown — {N_CORES} cores, scale {scale}, "
+        "observability enabled ('simulate' spans contain 'dispatch')"
+    )
+    table(
+        ["family", "tasks", "tdg_build", "graph_analysis", "dispatch",
+         "simulate"],
+        phase_rows,
+    )
+    banner("Runtime counters")
+    table(
+        ["counter"] + list(FAMILIES),
+        [
+            [name]
+            + [
+                f"{counters_by_family[f].get(name, 0.0):,.0f}"
+                for f in FAMILIES
+            ]
+            for name in sorted(counter_names)
+        ],
+    )
+    return counters_by_family
 
 
 def run_sweep(scales: Sequence[int] = (SCALE,), workers: int = 1):
@@ -262,6 +336,11 @@ if __name__ == "__main__":
     )
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument(
+        "--profile", action="store_true",
+        help="print the observability phase breakdown + counter table "
+        "(at the largest --scale) instead of the throughput sweep",
+    )
+    parser.add_argument(
         "--stream", action="store_true",
         help="run the steady-state streaming harness instead of the "
         "family x scale sweep",
@@ -283,6 +362,9 @@ if __name__ == "__main__":
             n_buffers=args.buffers,
             prune_every=args.prune_every,
         )
+    elif args.profile:
+        scale_list = tuple(int(s) for s in args.scale.split(",") if s)
+        report_profile(scale=max(scale_list))
     else:
         scale_list = tuple(int(s) for s in args.scale.split(",") if s)
         report(scales=scale_list, workers=args.workers)

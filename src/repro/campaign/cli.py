@@ -13,7 +13,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from .presets import PRESETS, build_preset
-from .report import compare_stores, render_table, summarize
+from .report import compare_stores, render_table, summarize, summarize_obs
 from .runner import run_campaign
 from .store import ResultStore, merge_stores
 
@@ -55,6 +55,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="I/N", help="run only round-robin shard I of N")
     run.add_argument("--no-resume", action="store_true",
                      help="rerun scenarios even if the store has records")
+    run.add_argument(
+        "--obs", action="store_true",
+        help="collect observability metrics (phase spans, runtime "
+        "counters) into each record's 'obs' key; canonical record "
+        "content is unchanged",
+    )
     run.add_argument("--quiet", action="store_true")
 
     report = sub.add_parser("report", help="summarise a result store")
@@ -66,6 +72,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--reduce", default="mean",
                         choices=("mean", "geomean", "sum"))
     report.add_argument("--format", default="md", choices=("md", "csv"))
+    report.add_argument(
+        "--metrics", action="store_true",
+        help="pivot the records' observability ('obs') blocks instead of "
+        "a simulated metric: one row per counter/timer/span/gauge, one "
+        "column per --cols axis value (requires a store produced with "
+        "run --obs)",
+    )
     report.add_argument("--out", default=None,
                         help="write to a file instead of stdout")
 
@@ -120,6 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         shard=args.shard,
         progress=None if args.quiet else progress,
+        obs=args.obs,
     )
     print(summary.describe())
     return 1 if summary.n_errors else 0
@@ -136,13 +150,19 @@ def _existing_store(path: str) -> ResultStore:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     store = _existing_store(args.store)
-    headers, body = summarize(
-        store.records(),
-        rows=args.rows,
-        cols=args.cols,
-        metric=args.metric,
-        reduce=args.reduce,
-    )
+    if args.metrics:
+        try:
+            headers, body = summarize_obs(store.records(), cols=args.cols)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    else:
+        headers, body = summarize(
+            store.records(),
+            rows=args.rows,
+            cols=args.cols,
+            metric=args.metric,
+            reduce=args.reduce,
+        )
     text = render_table(headers, body, fmt=args.format)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:

@@ -22,6 +22,7 @@ from .store import ResultStore
 
 __all__ = [
     "summarize",
+    "summarize_obs",
     "render_table",
     "aggregate_stats",
     "compare_stores",
@@ -97,6 +98,79 @@ def summarize(
         for c in col_vals:
             values = cells.get((r, c))
             line.append(f"{_reduce(values):.6g}" if values else "-")
+        body.append(line)
+    return headers, body
+
+
+def summarize_obs(
+    records: Sequence[dict], cols: str = "scheduler"
+) -> Tuple[List[str], List[List[str]]]:
+    """Pivot the observability blocks of ok-records into a table: one row
+    per obs metric (namespaced ``counter:`` / ``timer:`` / ``span:`` /
+    ``gauge:``), one column per ``cols`` axis value.
+
+    Counters, timer totals and span totals are *summed* over the records
+    landing in a cell; gauges report the cell's *max* (peaks are what a
+    capacity question asks).  Raises ``ValueError`` when the store holds
+    no ``"obs"`` blocks — i.e. the campaign ran without ``--obs``.
+
+    Returns ``(headers, body)`` ready for :func:`render_table`.
+    """
+    cells: Dict[Tuple[str, Any], List[float]] = {}
+    row_names: List[str] = []
+    col_vals: List[Any] = []
+    n_obs = 0
+    records = sorted(
+        records,
+        key=lambda r: (
+            r["scenario"]["family"],
+            r["scenario"]["scheduler"],
+            r["scenario"]["rsu"],
+            r["scenario"]["n_cores"],
+            r["scenario"]["scale"],
+            r["scenario"]["seed"],
+        ),
+    )
+    for rec in records:
+        if rec["status"] != "ok":
+            continue
+        obs = rec.get("obs")
+        if not obs:
+            continue
+        n_obs += 1
+        c = _axis_value(rec, cols)
+        if c not in col_vals:
+            col_vals.append(c)
+        flat: Dict[str, float] = {}
+        for name, value in obs.get("counters", {}).items():
+            flat[f"counter:{name}"] = float(value)
+        for name, timer in obs.get("timers", {}).items():
+            flat[f"timer:{name}_s"] = float(timer["total_s"])
+        for name, span in obs.get("spans", {}).items():
+            flat[f"span:{name}_s"] = float(span["total_s"])
+        for name, gauge in obs.get("gauges", {}).items():
+            flat[f"gauge:{name}:max"] = float(gauge["max"])
+        for row_name, value in flat.items():
+            if row_name not in row_names:
+                row_names.append(row_name)
+            cells.setdefault((row_name, c), []).append(value)
+    if n_obs == 0:
+        raise ValueError(
+            "no ok-records with 'obs' blocks in this store; "
+            "run the campaign with --obs to collect metrics"
+        )
+    headers = ["metric"] + [str(c) for c in col_vals]
+    body: List[List[str]] = []
+    for row_name in sorted(row_names):
+        line = [row_name]
+        for c in col_vals:
+            values = cells.get((row_name, c))
+            if values is None:
+                line.append("-")
+            elif row_name.startswith("gauge:"):
+                line.append(f"{max(values):.6g}")
+            else:
+                line.append(f"{sum(values):.6g}")
         body.append(line)
     return headers, body
 

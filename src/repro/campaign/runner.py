@@ -28,7 +28,7 @@ import multiprocessing
 import os
 import socket
 import subprocess
-import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -43,6 +43,8 @@ from ..core.criticality import (
 )
 from ..core.runtime import Runtime
 from ..core.task import Task
+from ..obs.metrics import SPAN_SIMULATE, MetricsRegistry, get_active, scoped
+from ..obs.timing import now as _now, unix_now as _unix_now
 from ..core.schedulers import (
     BottomLevelScheduler,
     BreadthFirstScheduler,
@@ -274,8 +276,18 @@ def _git_rev() -> str:
     return _git_rev_cache
 
 
-def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
-    """Execute one scenario and return its result record (never raises)."""
+def run_scenario(scenario: Scenario, campaign: str = "", obs: bool = False) -> dict:
+    """Execute one scenario and return its result record (never raises).
+
+    With ``obs=True`` a fresh :class:`~repro.obs.metrics.MetricsRegistry`
+    is installed for the scenario's duration (phase spans, counters,
+    gauges) and its schema-versioned summary lands under the record's
+    ``"obs"`` key.  The key is excluded from record-identity hashing like
+    ``timing``, and the instrumentation is purely observational —
+    canonical record content is bit-identical with ``obs`` on or off
+    (pinned by ``tests/test_obs.py`` and the ``compare --tolerance 0``
+    acceptance gate).
+    """
     record = {
         "id": scenario.scenario_id,
         "scenario": scenario.axes(),
@@ -289,63 +301,76 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
             "git_rev": _git_rev(),
         },
         "timing": None,
+        "obs": None,
     }
-    t0 = time.perf_counter()
+    t0 = _now()
     sim_s = 0.0
     tdg_s = 0.0
     rt = None
-    try:
-        if scenario.family.startswith("nas:"):
-            # Out-of-engine figure: memory-hierarchy simulation, no task
-            # runtime (and hence no TDG slice in the timing block).
-            t_sim = time.perf_counter()
-            metrics, stats = _run_nas_scenario(scenario)
-            sim_s = time.perf_counter() - t_sim
-            record["metrics"] = metrics
-            record["stats"] = stats
-            record["timing"] = None  # filled below like every record
-        else:
-            tasks = _build_workload(scenario)
-            machine = _build_machine(scenario)
-            rt = _build_runtime(scenario, machine)
-            # Simulation wall time starts at submission, matching the
-            # throughput bench's direct path: graph *generation* cost must
-            # not pollute the tracked tasks/s trajectory (the ROADMAP notes
-            # TDG construction dominates at large scales).  ``tdg_s`` is the
-            # host-side TDG-construction slice of that window — dependence
-            # registration + edge insertion — tracked separately so tracker
-            # regressions are visible even when the event kernel dominates.
-            t_sim = time.perf_counter()
-            rt.submit_all(tasks)
-            tdg_s = time.perf_counter() - t_sim
-            if scenario.scheduler == "bottom_level" and rt.criticality is None:
-                # HLF needs bottom levels even without a criticality policy.
-                rt.graph.compute_bottom_levels()
-            result = rt.run()
-            sim_s = time.perf_counter() - t_sim
-            record["metrics"] = {
-                "makespan": result.makespan,
-                "energy_j": result.energy_j,
-                "edp": result.edp,
-                "n_tasks": result.n_tasks,
+    registry: Optional[MetricsRegistry] = None
+    with ExitStack() as stack:
+        if obs:
+            # Installed process-wide (not just passed to the Runtime) so
+            # graph analyses and any other get_active() sites report into
+            # the same per-scenario registry; restored on exit either way.
+            registry = stack.enter_context(scoped())
+        try:
+            if scenario.family.startswith("nas:"):
+                # Out-of-engine figure: memory-hierarchy simulation, no task
+                # runtime (and hence no TDG slice in the timing block).
+                t_sim = _now()
+                with get_active().span(SPAN_SIMULATE):
+                    metrics, stats = _run_nas_scenario(scenario)
+                sim_s = _now() - t_sim
+                record["metrics"] = metrics
+                record["stats"] = stats
+                record["timing"] = None  # filled below like every record
+            else:
+                tasks = _build_workload(scenario)
+                machine = _build_machine(scenario)
+                rt = _build_runtime(scenario, machine)
+                # Simulation wall time starts at submission, matching the
+                # throughput bench's direct path: graph *generation* cost must
+                # not pollute the tracked tasks/s trajectory (the ROADMAP notes
+                # TDG construction dominates at large scales).  ``tdg_s`` is the
+                # host-side TDG-construction slice of that window — dependence
+                # registration + edge insertion — tracked separately so tracker
+                # regressions are visible even when the event kernel dominates.
+                # (With ``obs`` the same slice is also visible as the
+                # ``tdg_build`` phase span.)
+                t_sim = _now()
+                rt.submit_all(tasks)
+                tdg_s = _now() - t_sim
+                if scenario.scheduler == "bottom_level" and rt.criticality is None:
+                    # HLF needs bottom levels even without a criticality policy.
+                    rt.graph.compute_bottom_levels()
+                result = rt.run()
+                sim_s = _now() - t_sim
+                record["metrics"] = {
+                    "makespan": result.makespan,
+                    "energy_j": result.energy_j,
+                    "edp": result.edp,
+                    "n_tasks": result.n_tasks,
+                }
+                record["stats"] = result.stats.as_dict()
+        except Exception as exc:  # crash isolation: error rows, not crashes
+            record["status"] = "error"
+            record["error"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
             }
-            record["stats"] = result.stats.as_dict()
-    except Exception as exc:  # crash isolation: error rows, not crashes
-        record["status"] = "error"
-        record["error"] = {
-            "type": type(exc).__name__,
-            "message": str(exc),
-        }
-        record["metrics"] = None
-        record["stats"] = None
-    finally:
-        # Long-lived workers run many scenarios: sever the interned
-        # regions' back-references into this run's tracker so its
-        # history graph (and every Task it anchors) is collectible —
-        # error scenarios included.
-        if rt is not None:
-            rt.tracker.invalidate_region_caches()
-    wall = time.perf_counter() - t0
+            record["metrics"] = None
+            record["stats"] = None
+        finally:
+            # Long-lived workers run many scenarios: sever the interned
+            # regions' back-references into this run's tracker so its
+            # history graph (and every Task it anchors) is collectible —
+            # error scenarios included.
+            if rt is not None:
+                rt.tracker.invalidate_region_caches()
+    if registry is not None:
+        record["obs"] = registry.summary()
+    wall = _now() - t0
     n_tasks = (record["metrics"] or {}).get("n_tasks", 0)
     record["timing"] = {
         "wall_s": wall,
@@ -355,14 +380,14 @@ def run_scenario(scenario: Scenario, campaign: str = "") -> dict:
         "tasks_per_sec": (n_tasks / sim_s) if sim_s > 0 and n_tasks else 0.0,
         "host": socket.gethostname(),
         "pid": os.getpid(),
-        "unix_ts": time.time(),
+        "unix_ts": _unix_now(),
     }
     return record
 
 
-def _pool_entry(payload: Tuple[Scenario, str]) -> dict:
-    scenario, campaign = payload
-    return run_scenario(scenario, campaign)
+def _pool_entry(payload: Tuple[Scenario, str, bool]) -> dict:
+    scenario, campaign, obs = payload
+    return run_scenario(scenario, campaign, obs=obs)
 
 
 # ----------------------------------------------------------------------
@@ -398,6 +423,7 @@ def run_campaign(
     retry_errors: bool = True,
     shard: Tuple[int, int] = (0, 1),
     progress: Optional[Callable[[dict], None]] = None,
+    obs: bool = False,
 ) -> RunSummary:
     """Execute every scenario of ``matrix`` (or of one shard of it).
 
@@ -421,6 +447,13 @@ def run_campaign(
         may share one store per machine and be merged by concatenation.
     progress:
         Optional callback invoked with each fresh record as it lands.
+    obs:
+        Collect per-scenario observability metrics (phase spans, runtime
+        counters) into each record's ``"obs"`` key.  Purely additive:
+        canonical record content is unchanged, so obs-on and obs-off
+        stores compare clean at ``--tolerance 0``.  Note resume: cached
+        records are returned as stored — a resumed campaign only adds
+        ``"obs"`` blocks to the scenarios it actually (re)runs.
     """
     index, count = shard
     # Always route through Matrix.shard so malformed specs ((0, 0),
@@ -452,9 +485,9 @@ def run_campaign(
 
     if workers <= 1 or len(todo) <= 1:
         for scenario in todo:
-            _absorb(run_scenario(scenario, matrix.name))
+            _absorb(run_scenario(scenario, matrix.name, obs=obs))
     else:
-        payloads = [(s, matrix.name) for s in todo]
+        payloads = [(s, matrix.name, obs) for s in todo]
         with multiprocessing.Pool(processes=min(workers, len(todo))) as pool:
             # Unordered: records land (and persist) as soon as a worker
             # finishes; canonical comparisons sort by scenario id anyway.

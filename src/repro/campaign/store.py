@@ -45,8 +45,11 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 
-#: Record keys excluded from determinism comparisons (host timing only).
-NONDETERMINISTIC_KEYS = ("timing",)
+#: Record keys excluded from determinism comparisons: host-timing blocks
+#: and the observability summary (``"obs"`` — phase spans and timers are
+#: host-time measurements; present only on runs executed with
+#: ``run_campaign(obs=True)`` / ``run --obs``).
+NONDETERMINISTIC_KEYS = ("timing", "obs")
 
 
 def canonical_line(record: dict) -> str:

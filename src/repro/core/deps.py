@@ -191,8 +191,8 @@ class DependenceTracker:
 
     __slots__ = (
         "_by_name", "_next_detached", "_graph", "_pruned", "edges_added",
-        "scan_probes", "scan_matches", "last_matches", "last_depth_floor",
-        "refs_released",
+        "scan_probes", "scan_matches", "cache_hits", "last_matches",
+        "last_depth_floor", "refs_released",
     )
 
     def __init__(self) -> None:
@@ -215,6 +215,10 @@ class DependenceTracker:
         #: History entries consulted by queries (the access's own history
         #: plus every overlapping one) — the irreducible per-access k.
         self.scan_matches = 0
+        #: Accesses resolved through the interned-region identity cache
+        #: (``Region._hist_owner`` slot) without touching the name index —
+        #: the ``region_cache_hits`` observability counter.
+        self.cache_hits = 0
         #: Matches of the most recent register call (consumed by the
         #: runtime's submission-cost model).
         self.last_matches = 0
@@ -354,6 +358,7 @@ class DependenceTracker:
             self._next_detached -= 1
         preds: Dict[int, Optional[Task]] = {}
         matches = 0
+        hits = 0
         floor = 0
         pruned = self._pruned
         by_name = self._by_name
@@ -366,6 +371,7 @@ class DependenceTracker:
             # identity compare instead of a name hash plus an extent hash.
             if region._hist_owner is self:
                 h = region._hist
+                hits += 1
             else:
                 qstart = region.start
                 qstop = region.stop
@@ -525,6 +531,7 @@ class DependenceTracker:
                 h.writers = {tid: task}
         preds.pop(tid, None)
         self.scan_matches += matches
+        self.cache_hits += hits
         self.last_matches = matches
         if pruned:
             # Only meaningful (and only read by the runtime) after a
@@ -566,6 +573,7 @@ class DependenceTracker:
         setattr_ = object.__setattr__
         pruned = self._pruned
         matches_total = 0
+        hits_total = 0
         edges_total = 0
         last_matches = self.last_matches  # unchanged if no task streams
         try:
@@ -581,6 +589,7 @@ class DependenceTracker:
                     kind = dep.kind
                     if region._hist_owner is self:
                         h = region._hist
+                        hits_total += 1
                     else:
                         qstart = region.start
                         qstop = region.stop
@@ -716,6 +725,7 @@ class DependenceTracker:
             # mid-batch (duplicate task) — counter state must match what
             # an equivalent register_preds loop would have left.
             self.scan_matches += matches_total
+            self.cache_hits += hits_total
             self.last_matches = last_matches
             self.edges_added += edges_total
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..obs.metrics import SPAN_GRAPH_ANALYSIS, get_active
 from .task import Task, TaskState
 
 __all__ = ["TaskGraph", "CycleError"]
@@ -318,12 +319,13 @@ class TaskGraph:
         linear verification pass.  The runtime re-sorts an individual
         list lazily (via ``_wake_len``) if edges were added later.
         """
-        key = self.task_ids.__getitem__
-        wake = self._wake_len
-        for g, lst in enumerate(self.succ_ids):
-            if len(lst) > 1:
-                lst.sort(key=key)
-            wake[g] = len(lst)
+        with get_active().span(SPAN_GRAPH_ANALYSIS):
+            key = self.task_ids.__getitem__
+            wake = self._wake_len
+            for g, lst in enumerate(self.succ_ids):
+                if len(lst) > 1:
+                    lst.sort(key=key)
+                wake[g] = len(lst)
 
     # ------------------------------------------------------------------
     # analyses (array sweeps over ids)
@@ -337,7 +339,16 @@ class TaskGraph:
         of successors below it — the classic list-scheduling priority and the
         quantity that defines the *critical path* (Section 3.1: a task is
         critical if it belongs to the critical path of the TDG).
+
+        One ``graph_analysis`` phase span on the process-wide obs sink
+        when observability is enabled.
         """
+        with get_active().span(SPAN_GRAPH_ANALYSIS):
+            return self._compute_bottom_levels_impl(weight)
+
+    def _compute_bottom_levels_impl(
+        self, weight: Optional[Callable[[Task], float]] = None
+    ) -> float:
         order = self.topo_ids()
         succs = self.succ_ids
         bl = self.bottom_level

@@ -48,12 +48,21 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.tdg_accel import SubmissionModel
     from .prefetch import RuntimePrefetcher
 
+from ..obs.metrics import (
+    SPAN_DISPATCH,
+    SPAN_PRUNE,
+    SPAN_SIMULATE,
+    SPAN_TDG_BUILD,
+    Metrics,
+    get_active,
+)
+from ..obs.timing import now as _host_now
 from ..sim.machine import Machine
 from ..sim.rsu import RuntimeSupportUnit
 from ..sim.stats import StatSet
@@ -65,6 +74,13 @@ from .schedulers import FifoScheduler, Scheduler
 from .task import Task, TaskState
 
 __all__ = ["Runtime", "RunResult", "DeadlockError"]
+
+#: Dispatch instrumentation stride: with observability enabled, every
+#: wakeup is *counted*, but host-clock reads and queue-depth samples run
+#: only on the first wakeup and every Nth after it.  Dispatch fires once
+#: per completion timestamp, so timing each one would cost more than the
+#: <=2% budget the obs layer promises (pinned by the perf-smoke job).
+_OBS_DISPATCH_STRIDE = 32
 
 
 class DeadlockError(RuntimeError):
@@ -81,6 +97,10 @@ class RunResult:
     n_tasks: int
     trace: Optional[TraceRecorder]
     stats: StatSet = field(default_factory=lambda: StatSet("run"))
+    #: Schema-versioned observability summary (``MetricsRegistry.summary``),
+    #: or None when the run executed with observability disabled.  Purely
+    #: observational: never part of record identity.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def avg_power_w(self) -> float:
@@ -137,6 +157,12 @@ class Runtime:
         Incompatible with submission models that price inserted edges
         (``per_edge_s``), which would observe the smaller pruned edge
         counts; the constructor rejects that combination.
+    obs:
+        Optional :class:`~repro.obs.metrics.Metrics` sink.  Defaults to
+        the process-wide active sink (:func:`repro.obs.get_active`) —
+        the no-op shim unless observability was enabled — captured at
+        construction.  Instrumentation is purely observational:
+        simulated results are bit-identical with any sink installed.
     """
 
     def __init__(
@@ -152,8 +178,12 @@ class Runtime:
         prefetcher: Optional["RuntimePrefetcher"] = None,
         batch_dispatch: bool = True,
         prune_every: int = 0,
+        obs: Optional[Metrics] = None,
     ) -> None:
         self.machine = machine
+        self.obs = obs if obs is not None else get_active()
+        self._obs_collected = False
+        self._obs_wakeups = 0
         # ``is not None``, NOT truthiness: schedulers are falsy while
         # empty (``__bool__`` is the dispatcher's O(1) work check), so
         # ``scheduler or FifoScheduler()`` would silently replace every
@@ -257,8 +287,13 @@ class Runtime:
 
         The bulk path the workload builders and the campaign runner use,
         so the TDG-construction throughput the ROADMAP tracks is measured
-        against this loop.
+        against this loop.  Each call is one ``tdg_build`` phase span
+        when observability is enabled.
         """
+        with self.obs.span(SPAN_TDG_BUILD):
+            return self._submit_all_impl(tasks)
+
+    def _submit_all_impl(self, tasks: Sequence[Task]) -> List[Task]:
         if self.submission is not None:
             # The master-thread latency chain is inherently sequential;
             # take the plain path to keep its accounting in one place.
@@ -466,6 +501,30 @@ class Runtime:
                 self.machine.sim.schedule(0.0, self._dispatch)
 
     def _dispatch(self) -> None:
+        # Observability wrapper: the disabled path is one class-attribute
+        # probe (``Metrics.enabled`` is False on the no-op shim) plus the
+        # impl call.  The enabled path counts every wakeup with a plain
+        # int, but clock reads and gauge appends run on a 1-in-N stride
+        # (first wakeup, then every ``_OBS_DISPATCH_STRIDE``th): dispatch
+        # fires once per completion timestamp, so per-wakeup timing would
+        # dominate the instrumentation budget.  The sampled queue-depth
+        # series is keyed on the *simulated* clock, so it stays
+        # deterministic and never feeds back into the run.
+        obs_ = self.obs
+        if not obs_.enabled:
+            self._dispatch_impl()
+            return
+        self._obs_wakeups += 1
+        if self._obs_wakeups & (_OBS_DISPATCH_STRIDE - 1) != 1:
+            self._dispatch_impl()
+            return
+        t0 = _host_now()
+        self._dispatch_impl()
+        obs_.timer_add(SPAN_DISPATCH, _host_now() - t0)
+        sim = self.machine.sim
+        obs_.gauge_sample("event_queue_depth", float(len(sim.queue)), t=sim.now)
+
+    def _dispatch_impl(self) -> None:
         self._dispatch_scheduled = False
         self._flush_ready()
         # Only idle cores are visited (ascending core id, the same order a
@@ -581,10 +640,19 @@ class Runtime:
         """Watermark prune: retire the tracker's finished members and
         release the graph handles of the completed batch."""
         retired, self._retired = self._retired, []
-        self.tracker.prune_finished()
-        self.graph.release_handles(retired)
+        obs_ = self.obs
+        with obs_.span(SPAN_PRUNE):
+            reclaimed = self.tracker.prune_finished()
+            self.graph.release_handles(retired)
         self.stats.add("prune_passes")
         self.stats.add("tasks_retired", len(retired))
+        if obs_.enabled:
+            obs_.counter_add("prune_reclaimed", float(reclaimed))
+            obs_.gauge_sample(
+                "live_regions",
+                float(self.tracker.live_regions),
+                t=self.machine.sim.now,
+            )
 
     # ------------------------------------------------------------------
     # execution
@@ -593,7 +661,13 @@ class Runtime:
         """Run the simulation until every submitted task has finished.
 
         Mirrors OmpSs ``#pragma omp taskwait`` at the outermost level.
+        Each call is one ``simulate`` phase span when observability is
+        enabled.
         """
+        with self.obs.span(SPAN_SIMULATE):
+            self._taskwait_impl()
+
+    def _taskwait_impl(self) -> None:
         sim = self.machine.sim
         if not self._prepared:
             # One-shot whole-graph criticality preparation (bottom levels /
@@ -626,7 +700,41 @@ class Runtime:
             trace=self.trace,
         )
         result.stats.merge(self.stats)
+        if self.obs.enabled:
+            result.obs = self.collect_obs()
         return result
+
+    def collect_obs(self) -> Optional[Dict[str, Any]]:
+        """Fold end-of-run component counters into the obs sink and return
+        its summary dict (``None`` when observability is disabled).
+
+        The named counters (``edges_inserted``, ``index_window_scans``,
+        ``region_cache_hits``, ``event_compactions``, ...) are sampled
+        from instrumentation the components maintain anyway, so enabling
+        observability adds no work to the registration/event hot loops.
+        Idempotent: the fold happens once per runtime, repeat calls just
+        re-summarise.
+        """
+        obs_ = self.obs
+        if not obs_.enabled:
+            return None
+        if not self._obs_collected:
+            self._obs_collected = True
+            tracker = self.tracker
+            sim = self.machine.sim
+            obs_.counter_add("wakeups", float(self._obs_wakeups))
+            obs_.counter_add("edges_inserted", float(self.graph.n_edges))
+            obs_.counter_add("index_window_scans", float(tracker.scan_probes))
+            obs_.counter_add("region_cache_hits", float(tracker.cache_hits))
+            obs_.counter_add("event_compactions", float(sim.queue.compactions))
+            obs_.counter_add("events_processed", float(sim.events_processed))
+            obs_.gauge_sample(
+                "live_regions", float(tracker.live_regions), t=sim.now
+            )
+            obs_.gauge_sample(
+                "event_queue_depth", float(len(sim.queue)), t=sim.now
+            )
+        return obs_.summary()
 
     # ------------------------------------------------------------------
     def prepare_criticality(self) -> None:

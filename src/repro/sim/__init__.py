@@ -36,9 +36,10 @@ from .tdg_accel import (
     SubmissionModel,
     granularity_sweep,
 )
-from .trace import TraceRecord, TraceRecorder
+from .trace import EPSILON, TraceRecord, TraceRecorder
 
 __all__ = [
+    "EPSILON",
     "Core",
     "DvfsController",
     "DvfsRequestResult",

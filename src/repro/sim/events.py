@@ -68,6 +68,9 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        #: Lazy-compaction passes performed (observability: sampled into
+        #: the ``event_compactions`` counter at end of run).
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -88,6 +91,7 @@ class EventQueue:
 
     def _compact(self) -> None:
         # (time, seq) is a total order, so heapify preserves pop order.
+        self.compactions += 1
         self._heap = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
 

@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["TraceRecord", "TraceRecorder"]
+__all__ = ["EPSILON", "TraceRecord", "TraceRecorder"]
+
+#: Shared overlap/rounding tolerance for simulated-time comparisons.
+#: Used by :meth:`TraceRecorder.validate_no_overlap` and by the Chrome
+#: trace exporter's interval fusing (:mod:`repro.obs.trace_export`);
+#: re-exported as ``repro.sim.EPSILON``.
+EPSILON = 1e-12
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,10 @@ class TraceRecorder:
 
     def __init__(self) -> None:
         self.records: List[TraceRecord] = []
+        #: Finished tasks :meth:`from_graph` could not reconstruct because
+        #: streaming mode (``prune_every``) already released their handles.
+        #: Always 0 for live-recorded traces.
+        self.skipped_released: int = 0
 
     def record(self, record: TraceRecord) -> None:
         self.records.append(record)
@@ -54,7 +64,8 @@ class TraceRecorder:
         Produces one record per finished task whose handle is still held
         by the graph (streaming mode releases retired handles — those
         tasks' timestamps remain in the arrays for :mod:`repro.core.analytics`,
-        but their labels/cores are gone, so they are skipped here).
+        but their labels/cores are gone, so they are skipped here and
+        counted in :attr:`skipped_released`).
         Frequencies are not part of the lifecycle arrays; with a
         ``machine`` the *current* per-core frequency is used, otherwise
         0.0 — live recording is authoritative for DVFS-varying runs.
@@ -76,7 +87,10 @@ class TraceRecorder:
             if state_arr[gid] is not finished:
                 continue
             task = tasks[gid]
-            if task is None or task.core_id is None:
+            if task is None:
+                trace.skipped_released += 1
+                continue
+            if task.core_id is None:
                 continue
             start = start_arr[gid]
             end = end_arr[gid]
@@ -131,7 +145,7 @@ class TraceRecorder:
         """Raise ``AssertionError`` if any core ran two tasks simultaneously."""
         for core_id, recs in self.by_core().items():
             for a, b in zip(recs, recs[1:]):
-                if b.start < a.end - 1e-12:
+                if b.start < a.end - EPSILON:
                     raise AssertionError(
                         f"core {core_id}: task {b.task_id} started at {b.start} "
                         f"before task {a.task_id} ended at {a.end}"

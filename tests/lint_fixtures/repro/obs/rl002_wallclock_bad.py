@@ -1,0 +1,13 @@
+"""RL002 bad fixture — a wall-clock read in an obs module that is NOT
+the whitelisted timing seam (``repro/obs/timing.py``) must still trip.
+
+Pins the PR 7 contract: moving the whitelist from the campaign runner to
+``repro.obs.timing`` must not accidentally whitelist the whole ``obs``
+package — only the one timing module may touch the host clock.
+"""
+
+import time
+
+
+def span_start() -> float:
+    return time.perf_counter()  # wall clock outside repro/obs/timing.py

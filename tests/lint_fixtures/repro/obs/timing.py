@@ -1,0 +1,13 @@
+"""RL002 good fixture — this file's path ends in ``repro/obs/timing.py``,
+the single whitelisted wall-clock module, so direct clock reads are
+silent here (and only here)."""
+
+import time
+
+
+def now() -> float:
+    return time.perf_counter()
+
+
+def unix_now() -> float:
+    return time.time()

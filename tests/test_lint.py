@@ -61,6 +61,14 @@ FIXTURE_CASES = [
         FIXTURES / "repro" / "core" / "rl002_sink_bad.py",
         FIXTURES / "repro" / "core" / "rl002_sink_good.py",
     ),
+    # Wall-clock whitelist seam: a clock read anywhere in repro/obs/
+    # except timing.py itself trips; timing.py (the whitelisted suffix)
+    # is silent.
+    (
+        "RL002",
+        FIXTURES / "repro" / "obs" / "rl002_wallclock_bad.py",
+        FIXTURES / "repro" / "obs" / "timing.py",
+    ),
     ("RL003", FIXTURES / "rl003_bad.py", FIXTURES / "rl003_good.py"),
     ("RL004", FIXTURES / "rl004_bad.py", FIXTURES / "rl004_good.py"),
     ("RL005", FIXTURES / "rl005_bad.py", FIXTURES / "rl005_good.py"),

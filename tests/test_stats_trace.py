@@ -36,6 +36,26 @@ class TestStatSet:
         s.reset()
         assert s.get("x") == 0.0
 
+    def test_empty_set_report(self):
+        """An untouched StatSet reports cleanly from every accessor."""
+        s = StatSet("empty")
+        assert s.as_dict() == {}
+        assert list(s.keys()) == []
+        assert s.scaled(2.0).as_dict() == {}
+        target = StatSet()
+        target.merge(s)  # merging an empty set is a no-op
+        assert target.as_dict() == {}
+
+    def test_add_many_equivalent_to_add_loop(self):
+        """Bulk and per-key accumulation must land on identical totals,
+        including repeated keys inside one batch."""
+        pairs = [("a", 1.0), ("b", 0.25), ("a", 2.0), ("c", -1.0), ("b", 0.75)]
+        bulk, loop = StatSet(), StatSet()
+        bulk.add_many(pairs)
+        for key, value in pairs:
+            loop.add(key, value)
+        assert bulk.as_dict() == loop.as_dict()
+
 
 class TestTimeline:
     def test_value_at(self):
@@ -68,6 +88,22 @@ class TestTimeline:
     def test_empty_timeline_value_raises(self):
         with pytest.raises(ValueError):
             Timeline().value_at(0.0)
+
+    def test_time_weighted_record(self):
+        """integrate() over recorded samples is the time-weighted total:
+        holding 2.0 for 1s then 4.0 for 3s averages 3.5, not the
+        sample-count mean of 3.0."""
+        t = Timeline()
+        t.record(0.0, 2.0)
+        t.record(1.0, 4.0)
+        total = t.integrate(0.0, 4.0)
+        assert total == pytest.approx(2.0 * 1.0 + 4.0 * 3.0)
+        assert total / 4.0 == pytest.approx(3.5)
+        # WeightedMean with hold-durations as weights agrees.
+        m = WeightedMean()
+        m.add(2.0, weight=1.0)
+        m.add(4.0, weight=3.0)
+        assert m.mean == pytest.approx(3.5)
 
 
 class TestWeightedMean:
@@ -129,6 +165,26 @@ class TestTraceRecorder:
 
     def test_empty_gantt(self):
         assert TraceRecorder().gantt() == "(empty trace)"
+
+    def test_empty_trace_utilisation_zero(self):
+        tr = TraceRecorder()
+        assert tr.utilisation(4) == 0.0
+        assert tr.makespan() == 0.0
+
+    def test_single_record_gantt_and_utilisation(self):
+        tr = TraceRecorder()
+        tr.record(rec(0, 2, 1.0, 3.0))
+        art = tr.gantt(width=20)
+        assert "core   2" in art
+        assert "=" in art  # the lone task renders as a bar
+        # One core fully busy over the makespan; the other three idle.
+        assert tr.utilisation(1) == pytest.approx(1.0)
+        assert tr.utilisation(4) == pytest.approx(0.25)
+
+    def test_zero_duration_record_utilisation_zero(self):
+        tr = TraceRecorder()
+        tr.record(rec(0, 0, 1.0, 1.0))  # instantaneous task: span == 0
+        assert tr.utilisation(4) == 0.0
 
     def test_by_core_sorted_by_start(self):
         tr = TraceRecorder()

@@ -6,6 +6,9 @@ Two checks, both fatal on failure:
 * **Quickstart** — the first ``python`` code fence in ``README.md`` is
   executed *verbatim* in a fresh namespace (with ``src/`` importable).
   If the README's example stops working, the build stops too.
+* **Doc snippets** — every ``python`` fence in the docs listed in
+  ``EXECUTABLE_DOCS`` (currently ``docs/observability.md``) runs the
+  same way, each in its own namespace.
 * **Links** — every relative markdown link in the repo's ``*.md`` files
   (root, ``docs/``) must resolve to an existing file or directory.
   External (``http``/``mailto``/anchor-only) links are skipped; fragment
@@ -31,6 +34,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: they are retrieved reference material whose links point at their
 #: source repositories, not at files this repo ships.
 DOC_GLOBS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs/*.md")
+
+#: Docs whose *every* ``python`` fence must execute cleanly (the README
+#: runs only its first fence — the quickstart contract predates this).
+EXECUTABLE_DOCS = ("docs/observability.md",)
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 #: Inline links [text](target); images ![alt](target) share the suffix.
@@ -68,6 +75,28 @@ def run_quickstart() -> list[str]:
     return []
 
 
+def run_doc_snippets() -> list[str]:
+    """Execute every python fence in EXECUTABLE_DOCS; returns errors."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    errors: list[str] = []
+    for rel in EXECUTABLE_DOCS:
+        doc = REPO_ROOT / rel
+        fences = _FENCE_RE.findall(doc.read_text(encoding="utf-8"))
+        if not fences:
+            errors.append(f"{rel}: no ```python fence found")
+            continue
+        for i, snippet in enumerate(fences, start=1):
+            name = f"{rel}#snippet{i}"
+            print(f"--- {name} " + "-" * max(0, 50 - len(name)))
+            try:
+                exec(compile(snippet, name, "exec"), {})
+            except Exception as exc:  # noqa: BLE001 - any failure is drift
+                errors.append(f"{name} failed: {type(exc).__name__}: {exc}")
+    return errors
+
+
 def check_links() -> list[str]:
     errors: list[str] = []
     n_checked = 0
@@ -97,6 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     errors: list[str] = []
     if not args.links_only:
         errors += run_quickstart()
+        errors += run_doc_snippets()
     if not args.quickstart_only:
         errors += check_links()
     for error in errors:
