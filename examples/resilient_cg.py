@@ -48,6 +48,22 @@ def main():
     print(f"  - AFEIR: recovery task runs off the critical path, "
           f"+{times['AFEIR'] - ideal:.1f}s visible")
 
+    # Beyond the paper's single hand-placed DUE: a seeded multi-fault
+    # plan (the campaign's fault axis) through the same schemes.
+    multi = Fig4Setup(
+        fault_time_s=8.0, n_faults=3, fault_window_s=22.0, fault_seed=1
+    )
+    plan = multi.fault_plan()
+    print(f"\nmulti-DUE storm: {len(plan)} faults at "
+          + ", ".join(f"t={t:.1f}s" for t in plan.times())
+          + " (seeded plan — same seed, same storm)")
+    storm = fig4_curves(multi)
+    storm_times = convergence_times(storm)
+    print(f"{'mechanism':<15} {'fired':>5} {'time (s)':>9} {'recovery':>9}")
+    for name, r in storm.items():
+        print(f"{name:<15} {r.n_faults:>5} {storm_times[name]:>9.1f} "
+              f"{r.recovery_s:>8.1f}s")
+
 
 if __name__ == "__main__":
     main()

@@ -186,6 +186,174 @@ def _fig1_hybrid(
     return Matrix("fig1_hybrid", tuple(scenarios))
 
 
+#: Fig-4 recovery mechanisms, in the figure's legend order.  ``ideal``
+#: runs fault-free, so fault-axis knobs are stripped from its scenarios
+#: (one reference row per (grid, seed) instead of one per fault combo).
+FIG4_SCHEME_AXIS: Tuple[str, ...] = (
+    "ideal",
+    "checkpoint",
+    "lossy_restart",
+    "feir",
+    "afeir",
+)
+
+#: Fault-axis keys that an ideal (fault-free) scenario must not carry.
+_FIG4_FAULT_KEYS = frozenset(
+    (
+        "fault_time",
+        "fault_window",
+        "fault_rate",
+        "fault_distribution",
+        "fault_seed",
+        "n_faults",
+        "block_start",
+        "block_len",
+        "ckpt_interval",
+    )
+)
+
+
+def _fig4_scenarios(
+    schemes: Sequence[str],
+    seeds: Sequence[int],
+    fault_axis: Sequence[Dict[str, Any]],
+    n_cores: int = 2,
+    **base: Any,
+) -> List[Scenario]:
+    """Cross schemes × seeds × fault combos into ``fig4:<scheme>`` rows.
+
+    ``base`` params (grid, tol, ...) apply to every scenario; each
+    ``fault_axis`` entry is one fault configuration (n_faults,
+    fault_time, ckpt_interval, ...).  Ideal rows drop the fault keys —
+    their records are the per-(grid, seed) reference curves, and the
+    content-hash dedup in :class:`~.matrix.Matrix` collapses what would
+    otherwise be one identical ideal run per fault combo.
+    """
+    scenarios: List[Scenario] = []
+    for seed in seeds:
+        for combo in fault_axis:
+            for scheme in schemes:
+                params = dict(base)
+                params.update(combo)
+                if scheme == "ideal":
+                    params = {
+                        k: v
+                        for k, v in params.items()
+                        if k not in _FIG4_FAULT_KEYS
+                    }
+                elif scheme != "checkpoint":
+                    # The interval axis only exists for the checkpoint
+                    # scheme; leaving it on the others would mint
+                    # distinct ids for identical simulations.
+                    params.pop("ckpt_interval", None)
+                scenarios.append(
+                    Scenario(
+                        f"fig4:{scheme}",
+                        scheduler="fifo",  # unused: no task runtime involved
+                        n_cores=n_cores,  # AFEIR recovery-overlap cores
+                        seed=seed,
+                        params=tuple(sorted(params.items())),
+                    )
+                )
+    return scenarios
+
+
+def _fig4_resilience() -> Matrix:
+    """Figure 4 behind the store: scheme × checkpoint interval × fault
+    count × fault time × matrix size × seed.  The single-fault rows at
+    ``fault_window=0`` reproduce the paper's hand-placed DUE exactly;
+    the multi-fault rows draw seeded plans over a 15 s window."""
+    scenarios: List[Scenario] = []
+    for grid, block_len, fault_times in (
+        (32, 64, (5.0, 12.0)),
+        (48, 128, (10.0, 25.0)),
+    ):
+        fault_axis: List[Dict[str, Any]] = []
+        for fault_time in fault_times:
+            for n_faults, window in ((1, 0.0), (3, 15.0)):
+                for interval in (120, 250):
+                    fault_axis.append(
+                        {
+                            "fault_time": fault_time,
+                            "n_faults": n_faults,
+                            "fault_window": window,
+                            "ckpt_interval": interval,
+                            "block_len": block_len,
+                            "block_start": grid * grid // 2,
+                        }
+                    )
+        scenarios.extend(
+            _fig4_scenarios(
+                FIG4_SCHEME_AXIS, seeds=(0,), fault_axis=fault_axis,
+                grid=grid,
+            )
+        )
+    return Matrix("fig4_resilience", tuple(scenarios))
+
+
+def _resilience_sweep() -> Matrix:
+    """Wide fault-injection sweep: fault count *and* Poisson fault rate
+    × time distribution × seeds, all four protected schemes + the ideal
+    reference per (grid, seed)."""
+    fault_axis: List[Dict[str, Any]] = []
+    for n_faults in (1, 2, 4):
+        for distribution in ("uniform", "spaced"):
+            fault_axis.append(
+                {
+                    "fault_time": 6.0,
+                    "fault_window": 24.0,
+                    "n_faults": n_faults,
+                    "fault_distribution": distribution,
+                    "ckpt_interval": 120,
+                    "block_len": 64,
+                }
+            )
+    for rate in (0.05, 0.15):
+        fault_axis.append(
+            {
+                "fault_time": 6.0,
+                "fault_window": 24.0,
+                "fault_rate": rate,
+                "ckpt_interval": 120,
+                "block_len": 64,
+            }
+        )
+    return Matrix(
+        "resilience_sweep",
+        tuple(
+            _fig4_scenarios(
+                FIG4_SCHEME_AXIS,
+                seeds=(0, 1, 2),
+                fault_axis=fault_axis,
+                grid=32,
+            )
+        ),
+    )
+
+
+def _fig4_smoke() -> Matrix:
+    """Tiny CI matrix: all five mechanisms through a 2-DUE plan on a
+    24x24 proxy — fast enough for every commit, wide enough that a
+    recovery regression (NaN leak, broken rollback) turns a record red."""
+    fault_axis = (
+        {
+            "fault_time": 3.0,
+            "fault_window": 6.0,
+            "n_faults": 2,
+            "ckpt_interval": 60,
+            "block_len": 48,
+        },
+    )
+    return Matrix(
+        "fig4_smoke",
+        tuple(
+            _fig4_scenarios(
+                FIG4_SCHEME_AXIS, seeds=(0,), fault_axis=fault_axis, grid=24,
+            )
+        ),
+    )
+
+
 def _throughput(scales: Sequence[int] = (1, 2, 4)) -> Matrix:
     """Kernel-throughput trajectory: tasks/s per family vs graph scale
     (the ROADMAP's --scale axis; host timing lives in the records'
@@ -225,6 +393,18 @@ PRESETS: Dict[str, Tuple[str, Callable[[], Matrix]]] = {
     "fig2_overhead": (
         "Fig 2 motivation: software vs RSU DVFS stalls, 4..64 cores",
         _fig2_overhead,
+    ),
+    "fig4_resilience": (
+        "Fig 4: CG recovery schemes x ckpt interval x fault axis x grid",
+        _fig4_resilience,
+    ),
+    "fig4_smoke": (
+        "CI smoke: 5 recovery mechanisms, 2-DUE plan, 24x24 proxy",
+        _fig4_smoke,
+    ),
+    "resilience_sweep": (
+        "wide fault axis: count/rate x distribution x 4 schemes x 3 seeds",
+        _resilience_sweep,
     ),
     "fig5_parsec": (
         "Fig 5: PARSEC pthreads vs OmpSs speedup, 1..16 threads",

@@ -272,10 +272,19 @@ class CompareResult:
 
 def _describe_axes(record: dict) -> str:
     s = record["scenario"]
-    return (
+    label = (
         f"{s['family']} {s['scheduler']} rsu={s['rsu']} "
         f"c{s['n_cores']} x{s['scale']} s{s['seed']}"
     )
+    params = s.get("params")
+    if params is not None and len(params) > 0:
+        # Param axes (fault plans, workload knobs) are what distinguish
+        # e.g. fig4 rows sharing every positional axis — a regression
+        # label without them would point at a dozen scenarios at once.
+        label += " " + " ".join(
+            f"{k}={v}" for k, v in sorted(params.items())
+        )
+    return label
 
 
 def compare_stores(

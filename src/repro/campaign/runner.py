@@ -129,6 +129,71 @@ def _run_nas_scenario(scenario: Scenario) -> Tuple[dict, dict]:
     return metrics, stats
 
 
+def _run_fig4_scenario(scenario: Scenario) -> Tuple[dict, dict]:
+    """Execute a Fig-4 resilience scenario (``fig4:<scheme>`` family).
+
+    The second out-of-engine figure behind the campaign store: the
+    scenario drives the :mod:`repro.resilience` CG solver under a seeded
+    :class:`~repro.resilience.faults.FaultPlan` instead of the task
+    runtime.  Convergence time maps onto the ``makespan`` metric and the
+    iteration count onto ``n_tasks`` (so the standard ``compare`` gate —
+    exact on ``n_tasks``, toleranced on ``makespan`` — applies
+    unchanged); recovery/protection overheads, the fired fault count and
+    the convergence flag ride along as extra metrics.  A non-finite
+    iterate is a hard error (crash-isolated into an error record): a
+    recovery scheme that lets NaNs survive must be visible, not averaged
+    away.
+    """
+    import numpy as np
+
+    from ..resilience.fig4 import Fig4Setup, fig4_run
+
+    scheme = scenario.family.split(":", 1)[1]
+    grid = int(scenario.param("grid", 48))
+    setup = Fig4Setup(
+        nx=grid,
+        ny=grid,
+        seed=scenario.seed,
+        tol=float(scenario.param("tol", 1e-8)),
+        fault_time_s=float(scenario.param("fault_time", 15.0)),
+        block_start=int(scenario.param("block_start", 0)),
+        block_len=int(scenario.param("block_len", 128)),
+        checkpoint_interval=int(scenario.param("ckpt_interval", 120)),
+        n_faults=int(scenario.param("n_faults", 1)),
+        fault_rate=(
+            float(scenario.param("fault_rate"))
+            if scenario.param("fault_rate") is not None
+            else None
+        ),
+        fault_window_s=float(scenario.param("fault_window", 0.0)),
+        fault_distribution=str(scenario.param("fault_distribution", "uniform")),
+        fault_seed=int(scenario.param("fault_seed", 0)),
+        afeir_cores=scenario.n_cores,
+    )
+    result = fig4_run(setup, scheme)
+    if not np.isfinite(result.x).all():
+        raise RuntimeError(
+            f"scheme {scheme!r} left non-finite entries in the iterate "
+            f"after {result.n_faults} fault(s)"
+        )
+    metrics = {
+        "makespan": result.convergence_time(),
+        "n_tasks": result.iterations,
+        "recovery_s": result.recovery_s,
+        "protection_s": result.protection_s,
+        "fault_count": result.n_faults,
+        "converged": int(result.converged),
+        "final_residual": result.records[-1].residual,
+    }
+    stats = {
+        "cg_iterations": float(result.iterations),
+        "cg_records": float(len(result.records)),
+        "faults_injected": float(result.n_faults),
+        "converged_runs": float(int(result.converged)),
+    }
+    return metrics, stats
+
+
 class _TaskCollector:
     """Duck-typed Runtime stand-in for the PARSEC graph builders."""
 
@@ -315,12 +380,18 @@ def run_scenario(scenario: Scenario, campaign: str = "", obs: bool = False) -> d
             # the same per-scenario registry; restored on exit either way.
             registry = stack.enter_context(scoped())
         try:
-            if scenario.family.startswith("nas:"):
-                # Out-of-engine figure: memory-hierarchy simulation, no task
-                # runtime (and hence no TDG slice in the timing block).
+            if scenario.family.startswith(("nas:", "fig4:")):
+                # Out-of-engine figures: memory-hierarchy (fig1) or CG
+                # resilience (fig4) simulation, no task runtime (and hence
+                # no TDG slice in the timing block).
+                family_runner = (
+                    _run_nas_scenario
+                    if scenario.family.startswith("nas:")
+                    else _run_fig4_scenario
+                )
                 t_sim = _now()
                 with get_active().span(SPAN_SIMULATE):
-                    metrics, stats = _run_nas_scenario(scenario)
+                    metrics, stats = family_runner(scenario)
                 sim_s = _now() - t_sim
                 record["metrics"] = metrics
                 record["stats"] = stats

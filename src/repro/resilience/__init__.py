@@ -9,8 +9,15 @@ lossy restart, FEIR and task-overlapped AFEIR
 """
 
 from .cg import CgRecord, CgResult, CgState, CgTiming, run_cg
-from .faults import DueEvent, inject
-from .fig4 import Fig4Setup, ascii_plot, convergence_times, fig4_curves
+from .faults import DueEvent, FaultPlan, inject, plan_faults
+from .fig4 import (
+    FIG4_SCHEMES,
+    Fig4Setup,
+    ascii_plot,
+    convergence_times,
+    fig4_curves,
+    fig4_run,
+)
 from .matrices import laplacian_2d, make_rhs, thermal2_proxy
 from .recovery import (
     AfeirScheme,
@@ -30,11 +37,15 @@ __all__ = [
     "CgTiming",
     "run_cg",
     "DueEvent",
+    "FaultPlan",
     "inject",
+    "plan_faults",
+    "FIG4_SCHEMES",
     "Fig4Setup",
     "ascii_plot",
     "convergence_times",
     "fig4_curves",
+    "fig4_run",
     "laplacian_2d",
     "make_rhs",
     "thermal2_proxy",

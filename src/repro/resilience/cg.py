@@ -8,7 +8,14 @@ hooks the Section 4 experiments need:
   dominant SpMV plus vector work at a fixed flop rate, so "time" is
   deterministic and machine-independent;
 * a *recovery scheme* notified on every iteration (checkpointing) and on
-  the DUE itself (rollback / restart / interpolation).
+  each DUE (rollback / restart / interpolation).
+
+Faults arrive either as a single hand-placed :class:`~.faults.DueEvent`
+(``due=``, the original Figure 4 shape) or as a whole
+:class:`~.faults.FaultPlan` (``faults=``, the campaign axis): events fire
+in time order at iteration boundaries, and because recovery itself
+advances the simulated clock, a later fault can land *inside* a pending
+recovery window — schemes must handle back-to-back DUEs.
 
 The residual is tracked recursively as in production CG; after any
 recovery action the true residual ``b - Ax`` is recomputed explicitly,
@@ -18,13 +25,13 @@ convergence curves honest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from .faults import DueEvent, inject
+from .faults import DueEvent, FaultPlan, inject
 
 __all__ = ["CgTiming", "CgState", "CgRecord", "CgResult", "run_cg"]
 
@@ -77,6 +84,16 @@ class CgResult:
     time_s: float
     x: np.ndarray
     fault_time_s: Optional[float] = None
+    #: Times of the DUEs that actually fired (a planned fault past
+    #: convergence never fires and is *not* listed here).
+    fault_times: Tuple[float, ...] = ()
+    #: Number of DUEs that fired.
+    n_faults: int = 0
+    #: Simulated seconds spent in ``on_due`` recovery actions.
+    recovery_s: float = 0.0
+    #: Simulated seconds spent in ``on_iteration`` protection actions
+    #: (periodic checkpoints); overhead paid even on fault-free runs.
+    protection_s: float = 0.0
 
     def convergence_time(self) -> float:
         """Time of the last record (time to converge when ``converged``)."""
@@ -90,6 +107,22 @@ class CgResult:
         ]
 
 
+def _as_events(
+    due: Optional[DueEvent],
+    faults: Optional[Union[FaultPlan, Sequence[DueEvent]]],
+) -> Tuple[DueEvent, ...]:
+    """Normalise the two fault inputs into one time-ordered tuple."""
+    if due is not None and faults is not None:
+        raise ValueError("give either due= (one event) or faults= (a plan)")
+    if due is not None:
+        return (due,)
+    if faults is None:
+        return ()
+    if isinstance(faults, FaultPlan):
+        return faults.events
+    return FaultPlan(tuple(faults)).events
+
+
 def run_cg(
     a: sp.csr_matrix,
     b: np.ndarray,
@@ -99,16 +132,23 @@ def run_cg(
     max_iterations: int = 20000,
     timing: Optional[CgTiming] = None,
     x0: Optional[np.ndarray] = None,
+    faults: Optional[Union[FaultPlan, Sequence[DueEvent]]] = None,
 ) -> CgResult:
-    """Solve ``Ax = b`` with CG under ``scheme``; optionally inject ``due``.
+    """Solve ``Ax = b`` with CG under ``scheme``; optionally inject faults.
 
     ``scheme`` implements the :class:`~repro.resilience.recovery
-    .RecoveryScheme` protocol.  The DUE fires at the first iteration
-    boundary past ``due.time_s``; ``scheme.on_due`` must leave the state
-    numerically usable (no NaNs) or the run will fail to converge —
-    nothing here silently repairs a bad scheme.
+    .RecoveryScheme` protocol and is *reset* before the run (fresh-state
+    contract: one scheme instance may drive many runs back to back).
+    Each fault fires at the first iteration boundary past its ``time_s``;
+    because ``on_due`` advances the clock, several events can fire at one
+    boundary — they are delivered in time order.  A fault whose time
+    falls after convergence (or past ``max_iterations``) never fires:
+    a DUE in a finished solve is a no-op, not a crash.  ``scheme.on_due``
+    must leave the state numerically usable (no NaNs) or the run will
+    fail to converge — nothing here silently repairs a bad scheme.
     """
     timing = timing if timing is not None else CgTiming()
+    events = _as_events(due, faults)
     n = a.shape[0]
     x = np.zeros(n) if x0 is None else x0.astype(float).copy()
     r = b - a @ x
@@ -117,15 +157,23 @@ def run_cg(
     records: List[CgRecord] = [
         CgRecord(0.0, 0, float(np.linalg.norm(state.r)) / b_norm)
     ]
+    scheme.reset()
     scheme.on_start(state, timing)
-    fault_pending = due is not None
+    next_fault = 0
+    fired: List[float] = []
+    recovery_s = 0.0
+    protection_s = 0.0
     converged = False
 
     while state.iteration < max_iterations:
-        if fault_pending and state.time_s >= due.time_s:
-            fault_pending = False
-            inject(getattr(state, due.vector), due)
-            state.time_s += scheme.on_due(state, due, timing)
+        while next_fault < len(events) and state.time_s >= events[next_fault].time_s:
+            event = events[next_fault]
+            next_fault += 1
+            inject(getattr(state, event.vector), event)
+            extra = scheme.on_due(state, event, timing)
+            recovery_s += extra
+            state.time_s += extra
+            fired.append(event.time_s)
             records.append(
                 CgRecord(
                     state.time_s,
@@ -145,7 +193,9 @@ def run_cg(
         state.rz = rz_new
         state.iteration += 1
         state.time_s += timing.iter_seconds
-        state.time_s += scheme.on_iteration(state, timing)
+        extra = scheme.on_iteration(state, timing)
+        protection_s += extra
+        state.time_s += extra
 
         res = float(np.sqrt(rz_new)) / b_norm
         records.append(CgRecord(state.time_s, state.iteration, res))
@@ -162,5 +212,9 @@ def run_cg(
         iterations=state.iteration,
         time_s=state.time_s,
         x=state.x,
-        fault_time_s=due.time_s if due else None,
+        fault_time_s=events[0].time_s if len(events) else None,
+        fault_times=tuple(fired),
+        n_faults=len(fired),
+        recovery_s=recovery_s,
+        protection_s=protection_s,
     )

@@ -1,4 +1,4 @@
-"""Detected and Uncorrected Error (DUE) injection.
+"""Detected and Uncorrected Error (DUE) injection and fault planning.
 
 Section 4 targets DUEs under a *fine-grained* error model: ECC (or a
 memory-protection fault) reports that a block of a vector is lost, the
@@ -6,15 +6,31 @@ surrounding data is intact, and the runtime is told which block died.
 That is the granularity at which the algorithmic recoveries operate —
 coarser models (whole-node loss) would not leave the redundancy the
 interpolation exploits.
+
+Two layers:
+
+* :class:`DueEvent` / :func:`inject` — one hand-placed error, the unit
+  the recovery schemes see (unchanged contract from the single-fault
+  Figure 4 experiment).
+* :class:`FaultPlan` / :func:`plan_faults` — a seeded *campaign* of
+  errors: fault count (or a rate driving a Poisson arrival process) ×
+  fault-time distribution × block geometry, all drawn from one
+  ``numpy.random.default_rng(seed)`` stream so the same seed always
+  yields the same schedule, independent of worker count or shard
+  layout (the determinism contract campaign records rest on).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["DueEvent", "inject"]
+__all__ = ["DueEvent", "FaultPlan", "inject", "plan_faults"]
+
+#: Fault-time distributions :func:`plan_faults` understands.
+DISTRIBUTIONS = ("uniform", "spaced", "poisson")
 
 
 @dataclass(frozen=True)
@@ -37,6 +53,12 @@ class DueEvent:
     block_start: int = 0
     block_len: int = 256
 
+    def __post_init__(self) -> None:
+        if self.block_start < 0:
+            raise ValueError("DUE block_start must be non-negative")
+        if self.block_len < 0:
+            raise ValueError("DUE block_len must be non-negative")
+
     def block(self) -> slice:
         return slice(self.block_start, self.block_start + self.block_len)
 
@@ -46,9 +68,131 @@ def inject(vec: np.ndarray, event: DueEvent) -> np.ndarray:
 
     The lost values are overwritten with NaN — any use of the block
     without recovery poisons the computation, which is exactly what tests
-    assert recovery schemes must prevent.
+    assert recovery schemes must prevent.  A zero-length block is a
+    detected-but-harmless error: legal, and a no-op.
     """
-    if event.block_start < 0 or event.block_start + event.block_len > len(vec):
+    if event.block_start + event.block_len > len(vec):
         raise ValueError("DUE block outside vector bounds")
     vec[event.block()] = np.nan
     return vec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable schedule of DUEs for one solver run.
+
+    Events are sorted by ``time_s`` (ties keep generation order).  Plans
+    compare by value, so two generations from the same seed/spec are
+    equal — the property the campaign determinism suite pins.
+    """
+
+    events: Tuple[DueEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda event: event.time_s)
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[DueEvent]:
+        return iter(self.events)
+
+    @classmethod
+    def single(cls, event: DueEvent) -> "FaultPlan":
+        """The legacy one-hand-placed-fault experiment as a plan."""
+        return cls((event,))
+
+    def first_time(self) -> Optional[float]:
+        return self.events[0].time_s if len(self.events) else None
+
+    def times(self) -> Tuple[float, ...]:
+        return tuple(event.time_s for event in self.events)
+
+
+def plan_faults(
+    n_rows: int,
+    *,
+    seed: Union[int, Sequence[int]] = 0,
+    n_faults: Optional[int] = None,
+    rate: Optional[float] = None,
+    window: Tuple[float, float] = (0.0, 60.0),
+    distribution: str = "uniform",
+    block_len: int = 256,
+    vector: str = "x",
+) -> FaultPlan:
+    """Generate a deterministic :class:`FaultPlan` for an ``n_rows`` system.
+
+    Exactly one of ``n_faults`` / ``rate`` selects the fault mass:
+
+    * ``n_faults`` — that many DUEs, times drawn per ``distribution``:
+      ``"uniform"`` (iid uniform over ``window``, then sorted) or
+      ``"spaced"`` (deterministic even spacing across ``window`` —
+      useful when only block geometry should be random).
+    * ``rate`` — a Poisson arrival process (exponential inter-arrival
+      times at ``rate`` faults per simulated second) truncated to
+      ``window``; the *count* itself is then part of the draw and the
+      distribution is implicitly ``"poisson"``.
+
+    Block starts are drawn uniformly over the valid range
+    ``[0, n_rows - block_len]``, so every generated event is in bounds
+    by construction.  All randomness comes from one
+    ``default_rng(seed)`` stream: same seed ⇒ identical plan, on any
+    host, in any worker process.
+    """
+    if (n_faults is None) == (rate is None):
+        raise ValueError("exactly one of n_faults / rate must be given")
+    t0, t1 = float(window[0]), float(window[1])
+    if t1 < t0:
+        raise ValueError(f"fault window end {t1} precedes start {t0}")
+    if not 0 <= block_len <= n_rows:
+        raise ValueError(
+            f"block_len {block_len} outside [0, n_rows={n_rows}]"
+        )
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown fault-time distribution {distribution!r}; "
+            f"choose from {DISTRIBUTIONS}"
+        )
+    rng = np.random.default_rng(seed)
+    if rate is not None:
+        if rate <= 0:
+            raise ValueError("fault rate must be positive")
+        times = []
+        t = t0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t > t1:
+                break
+            times.append(t)
+    else:
+        if n_faults < 0:
+            raise ValueError("n_faults must be non-negative")
+        if distribution == "poisson":
+            raise ValueError(
+                "distribution='poisson' draws its own count — give rate, "
+                "not n_faults"
+            )
+        if distribution == "spaced":
+            # Midpoint spacing: n equal slots, one fault centred in each,
+            # so plans for different n never share a time by accident.
+            step = (t1 - t0) / max(n_faults, 1)
+            times = [t0 + (i + 0.5) * step for i in range(n_faults)]
+        else:
+            times = sorted(
+                float(t) for t in rng.uniform(t0, t1, size=n_faults)
+            )
+    starts = rng.integers(0, n_rows - block_len + 1, size=len(times))
+    return FaultPlan(
+        tuple(
+            DueEvent(
+                time_s=float(t),
+                vector=vector,
+                block_start=int(s),
+                block_len=block_len,
+            )
+            for t, s in zip(times, starts)
+        )
+    )

@@ -1,10 +1,18 @@
-"""Figure 4 driver: CG disturbed by a single DUE under every scheme.
+"""Figure 4 driver: CG disturbed by DUEs under every recovery scheme.
 
 Reproduces the experiment of Section 4: *"CG execution example with a
 single error occurring at the same time for all implemented mechanisms"*
-on the thermal2 stand-in.  Returns the five convergence curves plus the
-summary statistics the shape assertions need (convergence time per
-scheme).
+on the thermal2 stand-in — and generalises it into the campaign's
+fault-injection axis: the same five mechanisms under a seeded
+multi-fault :class:`~.faults.FaultPlan` (fault count/rate ×
+time-distribution × block geometry).
+
+Two entry points:
+
+* :func:`fig4_curves` — all five mechanisms on one setup (the figure).
+* :func:`fig4_run` — one named scheme on one setup (the campaign unit:
+  ``repro.campaign``'s ``fig4:<scheme>`` family builder calls exactly
+  this, so store records and direct figure runs are the same numbers).
 """
 
 from __future__ import annotations
@@ -13,9 +21,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from .cg import CgResult, CgTiming, run_cg
-from .faults import DueEvent
+from .faults import DueEvent, FaultPlan, plan_faults
 from .matrices import make_rhs, thermal2_proxy
 from .recovery import (
     AfeirScheme,
@@ -23,9 +32,26 @@ from .recovery import (
     FeirScheme,
     IdealScheme,
     LossyRestartScheme,
+    RecoveryScheme,
 )
 
-__all__ = ["Fig4Setup", "fig4_curves"]
+__all__ = [
+    "FIG4_SCHEMES",
+    "Fig4Setup",
+    "fig4_curves",
+    "fig4_run",
+    "convergence_times",
+    "ascii_plot",
+]
+
+#: Campaign axis names -> display names, in the figure's legend order.
+FIG4_SCHEMES = {
+    "ideal": "Ideal",
+    "checkpoint": "Checkpoint",
+    "lossy_restart": "Lossy Restart",
+    "feir": "FEIR",
+    "afeir": "AFEIR",
+}
 
 
 @dataclass(frozen=True)
@@ -36,6 +62,16 @@ class Fig4Setup:
     we keep the same proportions on the proxy system (the checkpoint
     interval is likewise scaled from 'Ckpt 1000' to match the reduced
     iteration count).
+
+    The fault axis: with the defaults (``n_faults=1``,
+    ``fault_window_s=0``) the experiment is the paper's — one DUE pinned
+    at exactly ``fault_time_s`` wiping ``x[block_start:...+block_len]``.
+    Any other combination switches to the seeded generator
+    (:func:`~.faults.plan_faults`): ``n_faults`` DUEs (or a Poisson
+    process at ``fault_rate`` faults/s) with times drawn over
+    ``[fault_time_s, fault_time_s + fault_window_s]`` per
+    ``fault_distribution`` and in-bounds block starts drawn per event,
+    all deterministic in ``(seed, fault_seed)``.
     """
 
     nx: int = 72
@@ -47,32 +83,107 @@ class Fig4Setup:
     block_len: int = 256
     checkpoint_interval: int = 250
     timing: CgTiming = CgTiming()
+    n_faults: int = 1
+    fault_rate: Optional[float] = None
+    fault_window_s: float = 0.0
+    fault_distribution: str = "uniform"
+    fault_seed: int = 0
+    afeir_cores: int = 2
+
+    def system(self):
+        """The (A, b) pair every scheme of this setup solves."""
+        a = thermal2_proxy(self.nx, self.ny, seed=self.seed)
+        _, b = make_rhs(a, seed=self.seed + 1)
+        return a, b
+
+    def fault_plan(self) -> FaultPlan:
+        """The DUE schedule protected runs face (deterministic per setup)."""
+        if (
+            self.n_faults == 1
+            and self.fault_rate is None
+            and self.fault_window_s == 0.0
+        ):
+            # The paper's hand-placed single fault, bit for bit.
+            return FaultPlan.single(
+                DueEvent(
+                    time_s=self.fault_time_s,
+                    vector="x",
+                    block_start=self.block_start,
+                    block_len=self.block_len,
+                )
+            )
+        kwargs: Dict[str, object] = {}
+        if self.fault_rate is not None:
+            kwargs["rate"] = self.fault_rate
+            distribution = "poisson"
+        else:
+            kwargs["n_faults"] = self.n_faults
+            distribution = self.fault_distribution
+        return plan_faults(
+            self.nx * self.ny,
+            seed=[self.seed, self.fault_seed],
+            window=(self.fault_time_s, self.fault_time_s + self.fault_window_s),
+            distribution=distribution,
+            block_len=self.block_len,
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    def scheme(self, axis_name: str) -> RecoveryScheme:
+        """Instantiate a fresh scheme from its campaign axis name."""
+        if axis_name == "ideal":
+            return IdealScheme()
+        if axis_name == "checkpoint":
+            return CheckpointScheme(self.checkpoint_interval)
+        if axis_name == "lossy_restart":
+            return LossyRestartScheme()
+        if axis_name == "feir":
+            return FeirScheme()
+        if axis_name == "afeir":
+            return AfeirScheme(self.afeir_cores)
+        raise ValueError(
+            f"unknown scheme {axis_name!r}; choose from {sorted(FIG4_SCHEMES)}"
+        )
+
+
+def _run_scheme(
+    a: sp.csr_matrix,
+    b: np.ndarray,
+    setup: Fig4Setup,
+    axis_name: str,
+    plan: FaultPlan,
+) -> CgResult:
+    scheme = setup.scheme(axis_name)
+    faults = None if axis_name == "ideal" else plan
+    return run_cg(
+        a, b, scheme, faults=faults, tol=setup.tol, timing=setup.timing
+    )
+
+
+def fig4_run(setup: Fig4Setup, scheme: str) -> CgResult:
+    """Run one mechanism of the Figure 4 experiment (the campaign unit).
+
+    ``ideal`` runs fault-free (the reference curve); every other scheme
+    faces the setup's full fault plan.  Identical arithmetic to the
+    matching entry of :func:`fig4_curves` — the equivalence the
+    ``fig4_resilience`` campaign preset's store records are pinned to.
+    """
+    if scheme not in FIG4_SCHEMES:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; choose from {sorted(FIG4_SCHEMES)}"
+        )
+    a, b = setup.system()
+    return _run_scheme(a, b, setup, scheme, setup.fault_plan())
 
 
 def fig4_curves(setup: Optional[Fig4Setup] = None) -> Dict[str, CgResult]:
-    """Run all five mechanisms; returns scheme name -> CgResult."""
+    """Run all five mechanisms; returns scheme display name -> CgResult."""
     setup = setup if setup is not None else Fig4Setup()
-    a = thermal2_proxy(setup.nx, setup.ny, seed=setup.seed)
-    _, b = make_rhs(a, seed=setup.seed + 1)
-    due = DueEvent(
-        time_s=setup.fault_time_s,
-        vector="x",
-        block_start=setup.block_start,
-        block_len=setup.block_len,
-    )
+    a, b = setup.system()
+    plan = setup.fault_plan()
     runs: Dict[str, CgResult] = {}
-    runs["Ideal"] = run_cg(
-        a, b, IdealScheme(), due=None, tol=setup.tol, timing=setup.timing
-    )
-    for scheme in (
-        CheckpointScheme(setup.checkpoint_interval),
-        LossyRestartScheme(),
-        FeirScheme(),
-        AfeirScheme(),
-    ):
-        runs[scheme.name] = run_cg(
-            a, b, scheme, due=due, tol=setup.tol, timing=setup.timing
-        )
+    for axis_name in FIG4_SCHEMES:
+        result = _run_scheme(a, b, setup, axis_name, plan)
+        runs[result.scheme] = result
     return runs
 
 

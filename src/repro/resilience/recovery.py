@@ -20,12 +20,21 @@ AFEIR          asynchronous FEIR: the local solve is scheduled as a task
                path"), so the visible stall nearly vanishes.  The overlap
                is measured on the task runtime, not assumed.
 =============  =============================================================
+
+Lifecycle contract: schemes are **reusable**.  :func:`~.cg.run_cg` calls
+``reset()`` before every run, so one instance may drive a whole campaign
+of solves back to back; any per-run state (saved checkpoints, pending
+recovery windows) must live behind ``reset()``.  Under a multi-fault
+:class:`~.faults.FaultPlan` the hooks are also re-entrant in simulated
+time: a second DUE can land while an earlier recovery is still pending —
+Checkpoint re-checkpoints after rolling back, and AFEIR serialises
+recovery tasks that would overlap on the helper core.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -54,6 +63,14 @@ class RecoveryScheme:
 
     name = "base"
 
+    def reset(self) -> None:
+        """Drop all per-run state; called by ``run_cg`` before each run.
+
+        The fresh-state contract that makes one scheme instance safe to
+        reuse across many solves (campaign workers hold exactly one).
+        Stateless schemes inherit this no-op.
+        """
+
     def on_start(self, state: CgState, timing: CgTiming) -> None:
         """Called once before the first iteration."""
 
@@ -76,13 +93,27 @@ class IdealScheme(RecoveryScheme):
 
 
 class CheckpointScheme(RecoveryScheme):
-    """Checkpoint/rollback every ``interval`` iterations."""
+    """Checkpoint/rollback every ``interval`` iterations.
+
+    Holds the only long-lived mutable state of the scheme family (the
+    saved snapshot), so it is where the lifecycle contract bites:
+    ``reset()`` drops the snapshot, ``on_due`` without one is a hard
+    error (a rollback to a *previous run's* state would silently corrupt
+    the solve), and every rollback immediately re-checkpoints the
+    restored state so a second DUE inside the redo window rolls back to
+    the same point instead of compounding.
+    """
 
     def __init__(self, interval: int = 250) -> None:
         if interval < 1:
             raise ValueError("interval must be positive")
         self.interval = interval
         self.name = f"Ckpt {interval}"
+        self._saved: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, float, int]
+        ] = None
+
+    def reset(self) -> None:
         self._saved = None
 
     def _save(self, state: CgState) -> None:
@@ -104,12 +135,24 @@ class CheckpointScheme(RecoveryScheme):
         return 0.0
 
     def on_due(self, state: CgState, due: DueEvent, timing: CgTiming) -> float:
+        if self._saved is None:
+            raise RuntimeError(
+                "CheckpointScheme received a DUE with no checkpoint saved; "
+                "the scheme must observe on_start (run it through run_cg, "
+                "or call reset() + on_start before injecting)"
+            )
         x, r, p, rz, iteration = self._saved
         state.x = x.copy()
         state.r = r.copy()
         state.p = p.copy()
         state.rz = rz
         state.iteration = iteration
+        # Re-checkpoint the restored state: the snapshot must never alias
+        # the live arrays the redo iterations are about to mutate, and a
+        # second DUE during the redo window must roll back here, not to a
+        # stale pre-rollback snapshot.  The data is already on stable
+        # storage (it *is* the checkpoint), so no extra time is charged.
+        self._save(state)
         return timing.rollback_seconds
 
 
@@ -136,6 +179,8 @@ def exact_block_recovery(state: CgState, due: DueEvent) -> np.ndarray:
     Returns the recovered block (also written into ``state.x``).
     """
     blk = due.block()
+    if due.block_len == 0:
+        return state.x[blk]
     a = state.a
     rows = a[blk.start : blk.stop, :].tocsc()
     akk = rows[:, blk.start : blk.stop]
@@ -151,7 +196,12 @@ def exact_block_recovery(state: CgState, due: DueEvent) -> np.ndarray:
 
 
 class FeirScheme(RecoveryScheme):
-    """Synchronous exact forward recovery."""
+    """Synchronous exact forward recovery.
+
+    Stateless: the local solve stalls the solver, so by the time the next
+    iteration (or the next DUE) runs, recovery has fully completed —
+    there is no pending window for a later fault to land inside.
+    """
 
     name = "FEIR"
 
@@ -199,17 +249,32 @@ def afeir_visible_overhead(
 
 
 class AfeirScheme(RecoveryScheme):
-    """Asynchronous exact forward recovery (task-overlapped FEIR)."""
+    """Asynchronous exact forward recovery (task-overlapped FEIR).
 
-    name = "AFEIR"
+    Tracks the simulated completion time of the in-flight recovery task:
+    a DUE landing *inside* that pending window cannot overlap on the
+    same helper core, so the residue of the old window is paid as a
+    visible stall before the new recovery's overlap window opens.
+    """
 
     def __init__(self, n_cores: int = 2) -> None:
         self.n_cores = n_cores
+        self.name = "AFEIR"
+        self._pending_until = 0.0
+
+    def reset(self) -> None:
+        self._pending_until = 0.0
 
     def on_due(self, state: CgState, due: DueEvent, timing: CgTiming) -> float:
         exact_block_recovery(state, due)
-        # Whatever latency the overlap cannot hide, plus the cost of
-        # folding the deferred block updates back into the iterate.
-        return timing.afeir_merge_seconds + afeir_visible_overhead(
+        # A recovery task still in flight serialises the new one: the
+        # unfinished remainder of its window becomes visible stall.
+        queue_stall = max(0.0, self._pending_until - state.time_s)
+        visible = afeir_visible_overhead(
             timing.local_solve_seconds, timing.iter_seconds, self.n_cores
         )
+        launch = state.time_s + queue_stall
+        self._pending_until = launch + timing.local_solve_seconds
+        # Whatever latency the overlap cannot hide, plus the cost of
+        # folding the deferred block updates back into the iterate.
+        return queue_stall + timing.afeir_merge_seconds + visible

@@ -1,0 +1,219 @@
+"""The fig4 campaign family: store-vs-direct equivalence + determinism.
+
+Acceptance contract of the fault-injection axis: a ``fig4:<scheme>``
+record is a pure function of its scenario axes — bit-identical to the
+direct :func:`repro.resilience.fig4_curves` path, across worker counts,
+shard layouts and resume, and stable under ``compare --tolerance 0``.
+"""
+
+import pytest
+
+from repro.campaign import (
+    Matrix,
+    ResultStore,
+    Scenario,
+    build_preset,
+    compare_stores,
+    run_campaign,
+)
+from repro.campaign.presets import FIG4_SCHEME_AXIS
+from repro.campaign.store import canonical_line
+from repro.resilience import FIG4_SCHEMES, Fig4Setup, fig4_curves, fig4_run
+
+
+def smoke_matrix():
+    return build_preset("fig4_smoke")
+
+
+def small_setup(**overrides):
+    """The direct-path twin of the ``fig4_smoke`` scenarios."""
+    kwargs = dict(
+        nx=24, ny=24, fault_time_s=3.0, fault_window_s=6.0, n_faults=2,
+        checkpoint_interval=60, block_len=48,
+    )
+    kwargs.update(overrides)
+    return Fig4Setup(**kwargs)
+
+
+def scheme_of(record):
+    return record["scenario"]["family"].split(":", 1)[1]
+
+
+class TestPresetShapes:
+    def test_fig4_smoke_is_one_row_per_scheme(self):
+        matrix = smoke_matrix()
+        assert len(matrix) == 5
+        assert sorted(s.family.split(":", 1)[1] for s in matrix) == sorted(
+            FIG4_SCHEME_AXIS
+        )
+
+    def test_fig4_resilience_shape(self):
+        matrix = build_preset("fig4_resilience")
+        assert len(matrix) == 42
+        by_scheme = {}
+        for s in matrix:
+            by_scheme.setdefault(s.family, []).append(s)
+        # Ideal collapses to one reference row per grid; checkpoint keeps
+        # the interval axis; the rest drop it.
+        assert len(by_scheme["fig4:ideal"]) == 2
+        assert len(by_scheme["fig4:checkpoint"]) == 16
+        assert len(by_scheme["fig4:feir"]) == 8
+
+    def test_resilience_sweep_shape(self):
+        matrix = build_preset("resilience_sweep")
+        assert len(matrix) == 99
+        rates = {
+            dict(s.params).get("fault_rate")
+            for s in matrix
+            if s.family == "fig4:feir"
+        }
+        assert 0.05 in rates and 0.15 in rates
+
+    def test_ideal_rows_carry_no_fault_axis(self):
+        for preset in ("fig4_smoke", "fig4_resilience", "resilience_sweep"):
+            for s in build_preset(preset):
+                params = dict(s.params)
+                if s.family == "fig4:ideal":
+                    assert "fault_time" not in params, preset
+                    assert "n_faults" not in params, preset
+                    assert "ckpt_interval" not in params, preset
+
+    def test_interval_axis_only_on_checkpoint_rows(self):
+        for s in build_preset("fig4_resilience"):
+            params = dict(s.params)
+            if s.family in ("fig4:lossy_restart", "fig4:feir", "fig4:afeir"):
+                assert "ckpt_interval" not in params
+
+
+class TestStoreVsDirect:
+    @pytest.fixture(scope="class")
+    def smoke_records(self):
+        summary = run_campaign(smoke_matrix())
+        assert summary.n_errors == 0
+        return summary.records
+
+    def test_records_match_fig4_curves_bitwise(self, smoke_records):
+        setup = small_setup()
+        direct = fig4_curves(setup)
+        by_axis = {
+            "ideal": "Ideal",
+            "checkpoint": f"Ckpt {setup.checkpoint_interval}",
+            "lossy_restart": "Lossy Restart",
+            "feir": "FEIR",
+            "afeir": "AFEIR",
+        }
+        assert len(smoke_records) == 5
+        for rec in smoke_records:
+            result = direct[by_axis[scheme_of(rec)]]
+            metrics = rec["metrics"]
+            assert metrics["makespan"] == result.convergence_time()
+            assert metrics["n_tasks"] == result.iterations
+            assert metrics["recovery_s"] == result.recovery_s
+            assert metrics["protection_s"] == result.protection_s
+            assert metrics["fault_count"] == result.n_faults
+            assert metrics["converged"] == int(result.converged)
+            assert metrics["final_residual"] == result.records[-1].residual
+
+    def test_records_match_fig4_run_unit(self, smoke_records):
+        setup = small_setup()
+        for rec in smoke_records:
+            result = fig4_run(setup, scheme_of(rec))
+            assert rec["metrics"]["makespan"] == result.convergence_time()
+            assert rec["metrics"]["n_tasks"] == result.iterations
+
+    def test_multi_due_smoke_rows_converge_with_both_faults(
+        self, smoke_records
+    ):
+        for rec in smoke_records:
+            assert rec["metrics"]["converged"] == 1
+            expected = 0 if scheme_of(rec) == "ideal" else 2
+            assert rec["metrics"]["fault_count"] == expected
+
+
+class TestDeterminism:
+    def test_1_vs_4_workers_identical_records(self, tmp_path):
+        serial = ResultStore(str(tmp_path / "serial.jsonl"))
+        parallel = ResultStore(str(tmp_path / "parallel.jsonl"))
+        run_campaign(smoke_matrix(), store=serial, workers=1)
+        run_campaign(smoke_matrix(), store=parallel, workers=4)
+        lines = serial.canonical_lines()
+        assert len(lines) == 5
+        assert lines == parallel.canonical_lines()
+
+    def test_sharded_union_equals_whole(self):
+        whole = run_campaign(smoke_matrix())
+        parts = []
+        for i in range(3):
+            parts.extend(
+                run_campaign(smoke_matrix(), shard=(i, 3)).records
+            )
+        assert sorted(canonical_line(r) for r in parts) == sorted(
+            canonical_line(r) for r in whole.records
+        )
+
+    def test_resumed_store_equals_single_pass_store(self, tmp_path):
+        resumed = ResultStore(str(tmp_path / "resumed.jsonl"))
+        first = run_campaign(smoke_matrix(), store=resumed, shard=(0, 2))
+        second = run_campaign(smoke_matrix(), store=resumed)
+        assert second.n_skipped == first.n_run
+        single = ResultStore(str(tmp_path / "single.jsonl"))
+        run_campaign(smoke_matrix(), store=single)
+        assert resumed.canonical_lines() == single.canonical_lines()
+
+    def test_self_compare_at_zero_tolerance_is_clean(self, tmp_path):
+        """The CI gate: two independent runs of the preset diff clean at
+        ``--tolerance 0`` — no nondeterminism leaks into gated metrics."""
+        a = ResultStore(str(tmp_path / "a.jsonl"))
+        b = ResultStore(str(tmp_path / "b.jsonl"))
+        run_campaign(smoke_matrix(), store=a, workers=2)
+        run_campaign(smoke_matrix(), store=b, workers=2)
+        outcome = compare_stores(a, b, tolerance=0.0)
+        assert outcome.ok, outcome.describe()
+        assert outcome.n_compared == 5
+
+    def test_same_scenario_same_record_regardless_of_siblings(self):
+        target = next(
+            s for s in smoke_matrix() if s.family == "fig4:afeir"
+        )
+        alone = run_campaign(Matrix("fig4_smoke", (target,))).records[0]
+        amid = next(
+            r
+            for r in run_campaign(smoke_matrix()).records
+            if r["id"] == target.scenario_id
+        )
+        assert canonical_line(alone) == canonical_line(amid)
+
+
+class TestFaultSeedAxis:
+    def test_same_seed_same_plan_and_record(self):
+        setup = small_setup(fault_seed=3)
+        assert setup.fault_plan() == small_setup(fault_seed=3).fault_plan()
+        scenario = Scenario(
+            "fig4:feir",
+            scheduler="fifo",
+            n_cores=2,
+            params=(
+                ("block_len", 48), ("fault_seed", 3), ("fault_time", 3.0),
+                ("fault_window", 6.0), ("grid", 24), ("n_faults", 2),
+            ),
+        )
+        first = run_campaign(Matrix("seed_axis", (scenario,))).records[0]
+        again = run_campaign(Matrix("seed_axis", (scenario,))).records[0]
+        assert canonical_line(first) == canonical_line(again)
+
+    def test_different_fault_seeds_distinct_schedules(self):
+        plans = {
+            small_setup(fault_seed=k).fault_plan().times() for k in range(4)
+        }
+        assert len(plans) == 4
+
+    def test_fault_seed_is_part_of_the_scenario_id(self):
+        def scenario(fault_seed):
+            return Scenario(
+                "fig4:feir",
+                scheduler="fifo",
+                n_cores=2,
+                params=(("fault_seed", fault_seed), ("n_faults", 2)),
+            )
+
+        assert scenario(0).scenario_id != scenario(1).scenario_id

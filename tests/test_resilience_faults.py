@@ -1,0 +1,190 @@
+"""Tests for the seeded fault-plan generator and DUE injection edges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resilience import DueEvent, FaultPlan, inject, plan_faults
+
+
+class TestDueEventValidation:
+    def test_negative_block_start_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            DueEvent(0.0, block_start=-1, block_len=4)
+
+    def test_negative_block_len_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            DueEvent(0.0, block_start=0, block_len=-1)
+
+    def test_zero_length_block_is_legal(self):
+        event = DueEvent(0.0, block_start=3, block_len=0)
+        assert event.block() == slice(3, 3)
+
+
+class TestInjectionEdges:
+    def test_zero_length_block_is_a_noop(self):
+        v = np.arange(8.0)
+        inject(v, DueEvent(0.0, block_start=4, block_len=0))
+        assert np.isfinite(v).all()
+        assert v[4] == 4.0
+
+    def test_block_ending_exactly_at_len_is_in_bounds(self):
+        v = np.arange(8.0)
+        inject(v, DueEvent(0.0, block_start=5, block_len=3))
+        assert np.isnan(v[5:]).all()
+        assert np.isfinite(v[:5]).all()
+
+    def test_block_one_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            inject(np.zeros(8), DueEvent(0.0, block_start=5, block_len=4))
+
+    def test_block_at_index_zero(self):
+        v = np.arange(8.0)
+        inject(v, DueEvent(0.0, block_start=0, block_len=2))
+        assert np.isnan(v[:2]).all()
+        assert np.isfinite(v[2:]).all()
+
+    def test_whole_vector_block(self):
+        v = np.arange(6.0)
+        inject(v, DueEvent(0.0, block_start=0, block_len=6))
+        assert np.isnan(v).all()
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            inject(np.zeros(4), DueEvent(0.0, block_start=2, block_len=10))
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            (
+                DueEvent(9.0, block_start=0, block_len=1),
+                DueEvent(1.0, block_start=2, block_len=1),
+                DueEvent(4.0, block_start=4, block_len=1),
+            )
+        )
+        assert plan.times() == (1.0, 4.0, 9.0)
+
+    def test_single_wraps_one_event(self):
+        event = DueEvent(5.0, block_start=1, block_len=2)
+        plan = FaultPlan.single(event)
+        assert len(plan) == 1
+        assert list(plan) == [event]
+        assert plan.first_time() == 5.0
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.first_time() is None
+        assert plan.times() == ()
+
+
+class TestPlanFaults:
+    def test_same_seed_identical_plan(self):
+        kwargs = dict(n_faults=5, window=(2.0, 30.0), block_len=16)
+        assert plan_faults(512, seed=11, **kwargs) == plan_faults(
+            512, seed=11, **kwargs
+        )
+
+    def test_different_seeds_distinct_schedules(self):
+        kwargs = dict(n_faults=5, window=(2.0, 30.0), block_len=16)
+        a = plan_faults(512, seed=11, **kwargs)
+        b = plan_faults(512, seed=12, **kwargs)
+        assert a.times() != b.times()
+
+    def test_sequence_seed_is_deterministic(self):
+        a = plan_faults(256, seed=[3, 7], n_faults=4, block_len=8)
+        b = plan_faults(256, seed=[3, 7], n_faults=4, block_len=8)
+        c = plan_faults(256, seed=[3, 8], n_faults=4, block_len=8)
+        assert a == b
+        assert a != c
+
+    def test_times_inside_window_and_sorted(self):
+        plan = plan_faults(
+            1024, seed=0, n_faults=20, window=(5.0, 25.0), block_len=32
+        )
+        times = plan.times()
+        assert times == tuple(sorted(times))
+        assert all(5.0 <= t <= 25.0 for t in times)
+
+    def test_blocks_always_in_bounds(self):
+        n = 300
+        plan = plan_faults(n, seed=1, n_faults=50, block_len=64)
+        for event in plan:
+            assert 0 <= event.block_start
+            assert event.block_start + event.block_len <= n
+
+    def test_spaced_distribution_is_even_and_seed_free_in_time(self):
+        a = plan_faults(
+            256, seed=1, n_faults=4, window=(0.0, 40.0),
+            distribution="spaced", block_len=8,
+        )
+        b = plan_faults(
+            256, seed=2, n_faults=4, window=(0.0, 40.0),
+            distribution="spaced", block_len=8,
+        )
+        assert a.times() == (5.0, 15.0, 25.0, 35.0)
+        # Times are deterministic across seeds; geometry is not.
+        assert b.times() == a.times()
+        assert tuple(e.block_start for e in a) != tuple(
+            e.block_start for e in b
+        )
+
+    def test_rate_draws_poisson_arrivals_in_window(self):
+        plan = plan_faults(
+            2048, seed=5, rate=0.5, window=(10.0, 50.0), block_len=16
+        )
+        assert len(plan) > 0
+        assert all(10.0 <= t <= 50.0 for t in plan.times())
+
+    def test_rate_zero_window_yields_empty_plan(self):
+        plan = plan_faults(
+            128, seed=5, rate=10.0, window=(4.0, 4.0), block_len=8
+        )
+        assert len(plan) == 0
+
+    def test_n_faults_zero_yields_empty_plan(self):
+        assert len(plan_faults(128, seed=0, n_faults=0, block_len=8)) == 0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            plan_faults(128)  # neither n_faults nor rate
+        with pytest.raises(ValueError):
+            plan_faults(128, n_faults=2, rate=0.5)  # both
+        with pytest.raises(ValueError):
+            plan_faults(128, n_faults=-1)
+        with pytest.raises(ValueError):
+            plan_faults(128, rate=0.0)
+        with pytest.raises(ValueError):
+            plan_faults(128, n_faults=2, window=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            plan_faults(128, n_faults=2, block_len=200)
+        with pytest.raises(ValueError):
+            plan_faults(128, n_faults=2, distribution="gaussian")
+        with pytest.raises(ValueError):
+            # poisson needs a rate, not a count
+            plan_faults(128, n_faults=2, distribution="poisson")
+
+    @given(
+        seed=st.integers(0, 2**20),
+        n_faults=st.integers(0, 12),
+        block_len=st.sampled_from([0, 1, 16, 100]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_plans_reproducible_and_in_bounds(
+        self, seed, n_faults, block_len
+    ):
+        n = 100
+        first = plan_faults(
+            n, seed=seed, n_faults=n_faults, window=(0.0, 30.0),
+            block_len=block_len,
+        )
+        second = plan_faults(
+            n, seed=seed, n_faults=n_faults, window=(0.0, 30.0),
+            block_len=block_len,
+        )
+        assert first == second
+        assert len(first) == n_faults
+        for event in first:
+            assert 0.0 <= event.time_s <= 30.0
+            assert event.block_start + event.block_len <= n

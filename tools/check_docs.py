@@ -7,8 +7,7 @@ Two checks, both fatal on failure:
   executed *verbatim* in a fresh namespace (with ``src/`` importable).
   If the README's example stops working, the build stops too.
 * **Doc snippets** — every ``python`` fence in the docs listed in
-  ``EXECUTABLE_DOCS`` (currently ``docs/observability.md``) runs the
-  same way, each in its own namespace.
+  ``EXECUTABLE_DOCS`` runs the same way, each in its own namespace.
 * **Links** — every relative markdown link in the repo's ``*.md`` files
   (root, ``docs/``) must resolve to an existing file or directory.
   External (``http``/``mailto``/anchor-only) links are skipped; fragment
@@ -37,7 +36,7 @@ DOC_GLOBS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs/*.md")
 
 #: Docs whose *every* ``python`` fence must execute cleanly (the README
 #: runs only its first fence — the quickstart contract predates this).
-EXECUTABLE_DOCS = ("docs/observability.md",)
+EXECUTABLE_DOCS = ("docs/observability.md", "docs/resilience.md")
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 #: Inline links [text](target); images ![alt](target) share the suffix.
