@@ -313,6 +313,7 @@ def _build_runtime(scenario: Scenario, machine: Machine) -> Runtime:
         criticality=criticality,
         rsu=rsu,
         record_trace=False,
+        dep_backend=scenario.param("dep_backend"),
     )
 
 

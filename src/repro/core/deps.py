@@ -86,10 +86,14 @@ everything edge insertion needs), so retired tasks are collectible.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left, bisect_right
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .depkernel import BatchResult
     from .graph import TaskGraph
 
 from .task import DepKind, Task, TaskState
@@ -129,12 +133,16 @@ class _RegionHistory:
 
     __slots__ = (
         "start", "stop", "writers", "readers", "concurrents", "overlaps",
-        "ghost_w", "ghost_r", "ghost_c",
+        "ghost_w", "ghost_r", "ghost_c", "kid",
     )
 
     def __init__(self, start: int, stop: int) -> None:
         self.start = start
         self.stop = stop
+        # Dense batch-local id assigned by the vectorised kernel
+        # (repro.core.depkernel); -1 outside a batch.  Only ever read
+        # during the one register_batch call that created the history.
+        self.kid = -1
         # Member dicts are lazy: ``None`` until the first member of that
         # kind arrives (and reset back to ``None`` by compaction), so a
         # fresh history costs zero dict allocations.  Invariant: a member
@@ -192,10 +200,29 @@ class DependenceTracker:
     __slots__ = (
         "_by_name", "_next_detached", "_graph", "_pruned", "edges_added",
         "scan_probes", "scan_matches", "cache_hits", "last_matches",
-        "last_depth_floor", "refs_released",
+        "last_depth_floor", "refs_released", "backend", "_pending",
+        "kernel_batches", "kernel_rows", "kernel_fallbacks",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = os.environ.get("REPRO_DEP_BACKEND", "numpy")
+        if backend not in ("python", "numpy"):
+            raise ValueError(
+                f"unknown dependence backend {backend!r}; "
+                "expected 'python' or 'numpy'"
+            )
+        if backend == "numpy":
+            from . import depkernel
+
+            if depkernel.np is None:  # pragma: no cover - numpy baked in
+                backend = "python"
+        #: Selected batch backend: "numpy" attempts the vectorised
+        #: kernel on fresh-tracker bulk submissions, "python" always
+        #: takes the scalar path.  Resolution order: explicit argument,
+        #: then the REPRO_DEP_BACKEND environment variable, then
+        #: "numpy" (falling back to "python" when numpy is missing).
+        self.backend = backend
         self._by_name: Dict[str, _NameIndex] = {}
         # Tracker-local dense ids for tasks registered outside any graph
         # (counting down from -2; graph-attached tasks use their gid >= 0,
@@ -231,6 +258,16 @@ class DependenceTracker:
         #: Strong Task references dropped by pruning so far (kept
         #: last-writer entries whose value became None).
         self.refs_released = 0
+        #: Member-writeback stash of the last vectorised batch
+        #: (histories + the kernel's sorted access arrays); drained by
+        #: _flush_members before any scalar path reads member dicts.
+        self._pending: Optional[Tuple[Any, ...]] = None
+        #: Vectorised batches executed / access rows they covered /
+        #: batch attempts that fell back to the scalar path — the
+        #: kernel_* observability counters (zero-cost plain ints).
+        self.kernel_batches = 0
+        self.kernel_rows = 0
+        self.kernel_fallbacks = 0
 
     # ------------------------------------------------------------------
     def _insert_history(
@@ -307,6 +344,46 @@ class DependenceTracker:
         return h
 
     # ------------------------------------------------------------------
+    def register_batch(
+        self, tasks: List[Task], graph: "TaskGraph"
+    ) -> Optional["BatchResult"]:
+        """Attempt the vectorised kernel on a whole submission batch.
+
+        Only a *fresh* tracker qualifies (no histories, no graph
+        binding, never pruned, no pending member flush) — then every
+        history the batch touches is kernel-created and the numpy
+        last-writer expansion reproduces the scalar merge exactly
+        (:mod:`repro.core.depkernel`).  Returns the kernel's
+        :class:`~repro.core.depkernel.BatchResult` for
+        :meth:`TaskGraph.add_task_batch`, or ``None`` (counting a
+        ``kernel_fallbacks`` hit) when the batch must take the scalar
+        path; a ``None`` return has no side effects.
+        """
+        if (
+            self.backend == "numpy"
+            and self._graph is None
+            and not self._by_name
+            and not self._pruned
+            and self._pending is None
+            and not graph.tasks
+        ):
+            from . import depkernel
+
+            result = depkernel.register_batch(self, tasks, graph)
+            if result is not None:
+                return result
+        self.kernel_fallbacks += 1
+        return None
+
+    def _flush_members(self) -> None:
+        """Drain the kernel's deferred member writeback (idempotent)."""
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            from . import depkernel
+
+            depkernel.flush_members(self, pending)
+
+    # ------------------------------------------------------------------
     def register(self, task: Task) -> Set[Tuple[Task, Task]]:
         """Register ``task``'s accesses; return the set of new edges.
 
@@ -339,6 +416,10 @@ class DependenceTracker:
         For tasks not attached to a graph the ids are tracker-local
         negatives, useful only for dedup/counters.
         """
+        if self._pending is not None:
+            # A vectorised batch deferred its member writeback; land it
+            # before this scalar registration reads any member dict.
+            self._flush_members()
         graph = task.graph
         if graph is not None:
             # Member dicts key by gid, which is only unique within one
@@ -568,6 +649,11 @@ class DependenceTracker:
                         "one DependenceTracker serves one graph"
                     )
                 self._graph = graph
+        if self._pending is not None:
+            # Scalar streaming after a vectorised batch (e.g. the second
+            # window of a rolling submission): land the deferred member
+            # writeback before any member dict is read.
+            self._flush_members()
         by_name = self._by_name
         by_name_get = by_name.get
         setattr_ = object.__setattr__
@@ -745,6 +831,8 @@ class DependenceTracker:
         graph-attached tasks, so a retired task is collectible the moment
         the graph releases its handle.  Returns entries removed.
         """
+        if self._pending is not None:
+            self._flush_members()
         self._pruned = True
         removed = 0
         released = 0
@@ -835,6 +923,8 @@ class DependenceTracker:
         """
         from .task import _REGION_INTERN
 
+        if self._pending is not None:
+            self._flush_members()
         cleared = 0
         setattr_ = object.__setattr__
         for region in _REGION_INTERN.values():
@@ -846,6 +936,14 @@ class DependenceTracker:
 
     @property
     def live_regions(self) -> int:
+        """Distinct histories held by the name index (both tiers).
+
+        Drains the kernel's deferred member stash first: a fresh batch's
+        histories only materialise at flush time, and telemetry must not
+        depend on which backend built the TDG.
+        """
+        if self._pending is not None:
+            self._flush_members()
         return sum(
             len(e.hists) + len(e.longs) for e in self._by_name.values()
         )
@@ -853,6 +951,8 @@ class DependenceTracker:
     @property
     def live_members(self) -> int:
         """Total member entries across all histories (pruning diagnostics)."""
+        if self._pending is not None:
+            self._flush_members()
         return sum(
             (len(h.writers) if h.writers else 0)
             + (len(h.readers) if h.readers else 0)
@@ -865,6 +965,8 @@ class DependenceTracker:
     @property
     def live_task_refs(self) -> int:
         """Member entries still holding a strong Task reference."""
+        if self._pending is not None:
+            self._flush_members()
         total = 0
         for e in self._by_name.values():
             for tier in (e.hists, e.longs):

@@ -163,6 +163,15 @@ class Runtime:
         the no-op shim unless observability was enabled — captured at
         construction.  Instrumentation is purely observational:
         simulated results are bit-identical with any sink installed.
+    dep_backend:
+        Dependence-tracker batch backend, forwarded to
+        :class:`~repro.core.deps.DependenceTracker`: ``"numpy"`` runs
+        fresh bulk submissions through the vectorised kernel
+        (:mod:`repro.core.depkernel`), ``"python"`` always takes the
+        scalar path.  ``None`` (default) resolves the
+        ``REPRO_DEP_BACKEND`` environment variable, then ``"numpy"``.
+        Backends are bit-identical (pinned by the backend-equivalence
+        suite); the choice only moves host time.
     """
 
     def __init__(
@@ -179,6 +188,7 @@ class Runtime:
         batch_dispatch: bool = True,
         prune_every: int = 0,
         obs: Optional[Metrics] = None,
+        dep_backend: Optional[str] = None,
     ) -> None:
         self.machine = machine
         self.obs = obs if obs is not None else get_active()
@@ -194,7 +204,7 @@ class Runtime:
         self.criticality = criticality
         self.rsu = rsu
         self.lower_on_idle = lower_on_idle
-        self.tracker = DependenceTracker()
+        self.tracker = DependenceTracker(backend=dep_backend)
         self.graph = TaskGraph()
         self.scheduler.bind(self.graph)
         self.trace = TraceRecorder() if record_trace else None
@@ -301,6 +311,25 @@ class Runtime:
         if not isinstance(tasks, list):
             tasks = list(tasks)
         graph = self.graph
+        tracker = self.tracker
+        if tasks and not self._any_finished and not graph.tasks:
+            # Fresh-build fast path: hand the whole batch to the
+            # vectorised dependence kernel.  A None result (scalar
+            # backend, concurrent accesses, overlapping regions, an
+            # in-batch duplicate, ...) falls through to the scalar loop
+            # with no tracker/graph state to undo.
+            result = tracker.register_batch(tasks, graph)
+            if result is not None:
+                graph.add_task_batch(tasks, result, self.machine.sim.now)
+                n_new = result.n_tasks
+                self._unfinished += n_new
+                self.stats.add("tasks_submitted", n_new)
+                make_ready = self._make_ready
+                for gid in result.roots:
+                    # Ascending gid = the order the scalar loop reaches
+                    # each root, so _pending_ready is bit-identical.
+                    make_ready(gid)
+                return tasks
         make_ready = self._make_ready
         # graph.add_task and the fresh-successor branch of add_edges_to,
         # inlined (a Python call per task adds up on graphs of 10^4+
@@ -308,12 +337,13 @@ class Runtime:
         # representation-equivalence suite either way).  The struct-of-
         # arrays storage is bulk pre-extended in C-level comprehensions
         # instead of per-task appends inside the loop.
+        graph._flush_edge_batches()  # bind the real backing arrays below
         index_of = graph.index_of
         graph_tasks = graph.tasks
-        succ_ids = graph.succ_ids
-        pred_ids = graph.pred_ids
+        succ_ids = graph._succ_rows
+        pred_ids = graph._pred_rows
         unfinished_preds = graph.unfinished_preds
-        depth_arr = graph.depth
+        depth_arr = graph._depth
         state_arr = graph.state
         finished = TaskState.FINISHED
         n_new = len(tasks)
@@ -340,7 +370,6 @@ class Runtime:
         graph.ready_time.extend([None] * n_new)
         graph.start_time.extend([None] * n_new)
         graph.end_time.extend([None] * n_new)
-        tracker = self.tracker
         # Pruning cannot fire mid-loop (nothing below steps the
         # simulation), so the ghost-depth replay applies uniformly.
         apply_floor = tracker._pruned
@@ -722,10 +751,20 @@ class Runtime:
             self._obs_collected = True
             tracker = self.tracker
             sim = self.machine.sim
+            if tracker._pending is not None:
+                # A fast-tier batch defers index construction (and with
+                # it the scan_probes count) to the member flush; settle
+                # it before sampling the counters.
+                tracker._flush_members()
             obs_.counter_add("wakeups", float(self._obs_wakeups))
             obs_.counter_add("edges_inserted", float(self.graph.n_edges))
             obs_.counter_add("index_window_scans", float(tracker.scan_probes))
             obs_.counter_add("region_cache_hits", float(tracker.cache_hits))
+            obs_.counter_add("kernel_batches", float(tracker.kernel_batches))
+            obs_.counter_add("kernel_rows", float(tracker.kernel_rows))
+            obs_.counter_add(
+                "kernel_fallbacks", float(tracker.kernel_fallbacks)
+            )
             obs_.counter_add("event_compactions", float(sim.queue.compactions))
             obs_.counter_add("events_processed", float(sim.events_processed))
             obs_.gauge_sample(
