@@ -56,6 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-resume", action="store_true",
                      help="rerun scenarios even if the store has records")
     run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock budget: a scenario that exceeds it "
+        "is interrupted and retried once; a second timeout becomes an "
+        "error record with reason 'timeout' (default: no limit)",
+    )
+    run.add_argument(
         "--obs", action="store_true",
         help="collect observability metrics (phase spans, runtime "
         "counters) into each record's 'obs' key; canonical record "
@@ -134,6 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shard=args.shard,
         progress=None if args.quiet else progress,
         obs=args.obs,
+        timeout_s=args.timeout,
     )
     print(summary.describe())
     return 1 if summary.n_errors else 0

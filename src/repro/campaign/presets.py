@@ -354,6 +354,57 @@ def _fig4_smoke() -> Matrix:
     )
 
 
+#: Runtime recovery policies, in fixed comparison order.
+RUNTIME_RECOVERY_AXIS: Tuple[str, ...] = (
+    "reexec",
+    "reexec-elsewhere",
+    "task-checkpoint",
+)
+
+#: Fault configurations of the runtime sweep.  The window (seconds of
+#: *simulated* time from t=0) is calibrated to the scale-1 makespans of
+#: the base families (~0.003–0.023 s at 8 cores), so count rows land
+#: their faults inside most runs; rate rows draw a Poisson process at
+#: ~4 expected arrivals over the window.  The empty row is the
+#: zero-fault control — bit-identical to the fault-free base family.
+_RUNTIME_FAULT_AXIS: Tuple[Dict[str, Any], ...] = (
+    {},
+    {"fault_count": 3, "fault_window": 0.01},
+    {"fault_rate": 400.0, "fault_window": 0.01},
+    {"fault_count": 1, "fault_window": 0.01, "core_kill_p": 1.0},
+)
+
+
+def _runtime_faults_sweep() -> Matrix:
+    """The runtime-fault axis behind the store: recovery policy × all
+    seven schedulers × three DAG families × fault configuration (zero /
+    task-kill count / Poisson rate / core-kill), 8 cores at scale 1.
+
+    Every record is bit-identical across worker counts, shards and
+    resume like any other family; rows where a kill strands work a
+    scheduler cannot re-route (e.g. core-kill under ``static``) produce
+    *deterministic* error records rather than silent hangs.
+    """
+    scenarios: List[Scenario] = []
+    for policy in RUNTIME_RECOVERY_AXIS:
+        for family in ("layered", "cholesky", "fork_join"):
+            for scheduler in ALL_SCHEDULERS:
+                for combo in _RUNTIME_FAULT_AXIS:
+                    params = dict(combo)
+                    params["base_family"] = family
+                    scenarios.append(
+                        Scenario(
+                            f"faulty:{policy}",
+                            scheduler=scheduler,
+                            n_cores=8,
+                            scale=1,
+                            seed=1,
+                            params=tuple(sorted(params.items())),
+                        )
+                    )
+    return Matrix("runtime_faults_sweep", tuple(scenarios))
+
+
 def _throughput(
     scales: Sequence[int] = (1, 2, 4), backend: Optional[str] = None
 ) -> Matrix:
@@ -410,6 +461,11 @@ PRESETS: Dict[str, Tuple[str, Callable[[], Matrix]]] = {
     "resilience_sweep": (
         "wide fault axis: count/rate x distribution x 4 schemes x 3 seeds",
         _resilience_sweep,
+    ),
+    "runtime_faults_sweep": (
+        "runtime faults: 3 recovery policies x 7 schedulers x 3 DAG "
+        "families x fault axis (zero/count/rate/core-kill)",
+        _runtime_faults_sweep,
     ),
     "fig5_parsec": (
         "Fig 5: PARSEC pthreads vs OmpSs speedup, 1..16 threads",

@@ -26,11 +26,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import socket
 import subprocess
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.runtime_faults import RuntimeFaultPlan, RuntimeRecoveryPolicy
 
 from ..apps.dag_workloads import WORKLOADS, make_workload
 from ..apps.kernels import critical_chain_with_fillers
@@ -63,6 +67,7 @@ from .store import SCHEMA_VERSION, ResultStore
 __all__ = [
     "SCHEDULERS",
     "RSU_MODES",
+    "ScenarioTimeout",
     "run_scenario",
     "run_campaign",
     "RunSummary",
@@ -213,6 +218,16 @@ def _build_workload(scenario: Scenario) -> List[Task]:
     unprefixed params stay machine/RSU-side.
     """
     family = scenario.family
+    if family.startswith("faulty:"):
+        # Runtime-fault scenarios execute an ordinary DAG family (named
+        # by the ``base_family`` param) with a fault plan armed; the
+        # workload itself is identical to the fault-free row.
+        family = str(scenario.param("base_family", "layered"))
+        if family not in WORKLOADS:
+            raise ValueError(
+                f"faulty base_family {family!r} must be a DAG family "
+                f"{sorted(WORKLOADS)}"
+            )
     if family in WORKLOADS:
         knobs = {
             k[3:]: v for k, v in scenario.params if k.startswith("wl_")
@@ -220,6 +235,8 @@ def _build_workload(scenario: Scenario) -> List[Task]:
         return make_workload(
             family, scale=scenario.scale, seed=scenario.seed, **knobs
         )
+    if family.startswith("debug:"):
+        return _build_debug_workload(scenario, family)
     if family == "chain":
         fillers_per_core = scenario.param("fillers_per_core")
         n_fillers = (
@@ -253,8 +270,34 @@ def _build_workload(scenario: Scenario) -> List[Task]:
         return collector.tasks
     raise ValueError(
         f"unknown workload family {scenario.family!r}; choose a DAG family "
-        f"{sorted(WORKLOADS)}, 'chain', or 'parsec:<app>:<variant>'"
+        f"{sorted(WORKLOADS)}, 'chain', 'parsec:<app>:<variant>', or "
+        "'faulty:<policy>'"
     )
+
+
+def _build_debug_workload(scenario: Scenario, family: str) -> List[Task]:
+    """Deliberately-misbehaving families for harness robustness tests.
+
+    Never part of any preset; they exist so the per-scenario timeout
+    machinery is covered by real pool executions instead of mocks.
+
+    * ``debug:hang`` — spins forever; only a scenario timeout ends it.
+    * ``debug:hang_once`` — spins on the first attempt (marked by
+      creating the ``sentinel`` file), returns a one-task workload on
+      the retry — the bounded-retry recovery path.
+    """
+    if family == "debug:hang":
+        while True:  # pragma: no cover - exited only via SIGALRM
+            pass
+    if family == "debug:hang_once":
+        sentinel = scenario.param("sentinel")
+        if sentinel is not None and not os.path.exists(str(sentinel)):
+            with open(str(sentinel), "w", encoding="utf-8"):
+                pass
+            while True:  # pragma: no cover - exited only via SIGALRM
+                pass
+        return [Task.make("debug", cpu_cycles=1e6)]
+    raise ValueError(f"unknown debug family {family!r}")
 
 
 def _build_machine(scenario: Scenario) -> Machine:
@@ -280,6 +323,45 @@ def _build_machine(scenario: Scenario) -> Machine:
     return Machine(n, initial_level=2)
 
 
+def _build_fault_plan(
+    scenario: Scenario,
+) -> Tuple["RuntimeFaultPlan", "RuntimeRecoveryPolicy"]:
+    """(plan, policy) for a ``faulty:<policy>`` scenario.
+
+    Fault-axis params mirror the fig4 family's knobs: ``fault_count``
+    *or* ``fault_rate`` (count wins a default of 0 — a ``faulty:*`` row
+    without fault knobs is the zero-fault control, bit-identical to its
+    base family), ``fault_window`` (seconds, from t=0),
+    ``fault_distribution``, ``fault_seed``, ``core_kill_p``; policy
+    knobs (``penalty``, ``max_retries``, ``protect_frac``,
+    ``restart_fraction``) are forwarded to the policy constructor.
+    """
+    from ..resilience.runtime_faults import plan_runtime_faults, resolve_recovery
+
+    policy_name = scenario.family.split(":", 1)[1]
+    policy_kwargs: Dict[str, object] = {}
+    for key in ("penalty", "max_retries", "protect_frac", "restart_fraction"):
+        value = scenario.param(key)
+        if value is not None:
+            policy_kwargs[key] = (
+                int(value) if key == "max_retries" else float(value)
+            )
+    policy = resolve_recovery(policy_name, **policy_kwargs)
+    rate = scenario.param("fault_rate")
+    n_faults = (
+        None if rate is not None else int(scenario.param("fault_count", 0))
+    )
+    plan = plan_runtime_faults(
+        seed=int(scenario.param("fault_seed", 0)),
+        n_faults=n_faults,
+        rate=float(rate) if rate is not None else None,
+        window=(0.0, float(scenario.param("fault_window", 60.0))),
+        distribution=str(scenario.param("fault_distribution", "uniform")),
+        core_kill_p=float(scenario.param("core_kill_p", 0.0)),
+    )
+    return plan, policy
+
+
 def _build_runtime(scenario: Scenario, machine: Machine) -> Runtime:
     try:
         scheduler = SCHEDULERS[scenario.scheduler](scenario.n_cores)
@@ -288,6 +370,10 @@ def _build_runtime(scenario: Scenario, machine: Machine) -> Runtime:
             f"unknown scheduler {scenario.scheduler!r}; "
             f"choose from {sorted(SCHEDULERS)}"
         ) from None
+    faults: Optional["RuntimeFaultPlan"] = None
+    recovery: Optional["RuntimeRecoveryPolicy"] = None
+    if scenario.family.startswith("faulty:"):
+        faults, recovery = _build_fault_plan(scenario)
     criticality = None
     rsu = None
     if scenario.rsu != "off":
@@ -314,12 +400,18 @@ def _build_runtime(scenario: Scenario, machine: Machine) -> Runtime:
         rsu=rsu,
         record_trace=False,
         dep_backend=scenario.param("dep_backend"),
+        faults=faults,
+        recovery=recovery,
     )
 
 
 # ----------------------------------------------------------------------
 # single-scenario execution
 # ----------------------------------------------------------------------
+class ScenarioTimeout(RuntimeError):
+    """A scenario exceeded its per-scenario wall-clock budget."""
+
+
 _git_rev_cache: Optional[str] = None
 
 
@@ -424,6 +516,18 @@ def run_scenario(scenario: Scenario, campaign: str = "", obs: bool = False) -> d
                     "edp": result.edp,
                     "n_tasks": result.n_tasks,
                 }
+                if scenario.family.startswith("faulty:"):
+                    # The fault axis rides along as extra metrics so
+                    # sweeps can pivot/gate on resilience outcomes; the
+                    # standard keys above stay untouched, which is what
+                    # lets zero-fault rows compare exactly against their
+                    # fault-free base family.
+                    record["metrics"].update(
+                        faults_fired=result.faults_fired,
+                        tasks_reexecuted=result.tasks_reexecuted,
+                        cores_lost=result.cores_lost,
+                        recovery_s=result.recovery_s,
+                    )
                 record["stats"] = result.stats.as_dict()
         except Exception as exc:  # crash isolation: error rows, not crashes
             record["status"] = "error"
@@ -431,6 +535,9 @@ def run_scenario(scenario: Scenario, campaign: str = "", obs: bool = False) -> d
                 "type": type(exc).__name__,
                 "message": str(exc),
             }
+            if isinstance(exc, ScenarioTimeout):
+                # The marker run_campaign's bounded-retry logic keys on.
+                record["error"]["reason"] = "timeout"
             record["metrics"] = None
             record["stats"] = None
         finally:
@@ -457,9 +564,63 @@ def run_scenario(scenario: Scenario, campaign: str = "", obs: bool = False) -> d
     return record
 
 
-def _pool_entry(payload: Tuple[Scenario, str, bool]) -> dict:
-    scenario, campaign, obs = payload
-    return run_scenario(scenario, campaign, obs=obs)
+def _run_with_timeout(
+    scenario: Scenario,
+    campaign: str,
+    obs: bool,
+    timeout_s: Optional[float],
+) -> dict:
+    """:func:`run_scenario` under a wall-clock deadline (SIGALRM).
+
+    The alarm interrupts the scenario *in-process* — a hung workload
+    builder or a runaway simulation becomes a ``status: "error"`` record
+    with ``reason: "timeout"`` instead of wedging its pool worker (and
+    with it the whole campaign) forever.  On platforms without SIGALRM
+    the deadline is a no-op; campaigns still run, just unprotected.
+    """
+    if not timeout_s or timeout_s <= 0 or not hasattr(signal, "SIGALRM"):
+        return run_scenario(scenario, campaign, obs=obs)
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise ScenarioTimeout(
+            f"scenario exceeded the per-scenario timeout of {timeout_s}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        # A timeout raised inside run_scenario's own try block is
+        # absorbed there into a tagged error record; this except only
+        # catches the narrow windows before/after it.
+        return run_scenario(scenario, campaign, obs=obs)
+    except ScenarioTimeout as exc:
+        return {
+            "id": scenario.scenario_id,
+            "scenario": scenario.axes(),
+            "status": "error",
+            "metrics": None,
+            "stats": None,
+            "error": {
+                "type": "ScenarioTimeout",
+                "message": str(exc),
+                "reason": "timeout",
+            },
+            "meta": {
+                "schema": SCHEMA_VERSION,
+                "campaign": campaign,
+                "git_rev": _git_rev(),
+            },
+            "timing": None,
+            "obs": None,
+        }
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_entry(payload: Tuple[Scenario, str, bool, Optional[float]]) -> dict:
+    scenario, campaign, obs, timeout_s = payload
+    return _run_with_timeout(scenario, campaign, obs, timeout_s)
 
 
 # ----------------------------------------------------------------------
@@ -474,6 +635,9 @@ class RunSummary:
     n_skipped: int
     n_ok: int = 0
     n_errors: int = 0
+    #: First-attempt timeouts that triggered the bounded retry (the
+    #: retry's own outcome lands in n_ok/n_errors like any record).
+    n_timeouts: int = 0
     records: List[dict] = field(default_factory=list)
 
     @property
@@ -481,10 +645,13 @@ class RunSummary:
         return self.n_ok + self.n_errors
 
     def describe(self) -> str:
-        return (
+        text = (
             f"campaign {self.campaign!r}: {self.n_total} scenarios, "
             f"{self.n_skipped} cached, {self.n_ok} ok, {self.n_errors} errors"
         )
+        if self.n_timeouts:
+            text += f", {self.n_timeouts} timeouts retried"
+        return text
 
 
 def run_campaign(
@@ -496,6 +663,7 @@ def run_campaign(
     shard: Tuple[int, int] = (0, 1),
     progress: Optional[Callable[[dict], None]] = None,
     obs: bool = False,
+    timeout_s: Optional[float] = None,
 ) -> RunSummary:
     """Execute every scenario of ``matrix`` (or of one shard of it).
 
@@ -526,6 +694,13 @@ def run_campaign(
         stores compare clean at ``--tolerance 0``.  Note resume: cached
         records are returned as stored — a resumed campaign only adds
         ``"obs"`` blocks to the scenarios it actually (re)runs.
+    timeout_s:
+        Optional per-scenario wall-clock budget.  A scenario that blows
+        it is interrupted (SIGALRM, in its own worker) and retried
+        exactly once; a second timeout — or any other error on the
+        retry — lands in the store as the scenario's final record with
+        ``error.reason == "timeout"``.  ``None`` (default) never
+        interrupts, matching previous behaviour.
     """
     index, count = shard
     # Always route through Matrix.shard so malformed specs ((0, 0),
@@ -555,14 +730,32 @@ def run_campaign(
         if progress is not None:
             progress(record)
 
-    if workers <= 1 or len(todo) <= 1:
-        for scenario in todo:
-            _absorb(run_scenario(scenario, matrix.name, obs=obs))
-    else:
-        payloads = [(s, matrix.name, obs) for s in todo]
-        with multiprocessing.Pool(processes=min(workers, len(todo))) as pool:
-            # Unordered: records land (and persist) as soon as a worker
-            # finishes; canonical comparisons sort by scenario id anyway.
-            for record in pool.imap_unordered(_pool_entry, payloads, chunksize=1):
+    def _execute(batch: List[Scenario]) -> Iterator[dict]:
+        if workers <= 1 or len(batch) <= 1:
+            for scenario in batch:
+                yield _run_with_timeout(scenario, matrix.name, obs, timeout_s)
+        else:
+            payloads = [(s, matrix.name, obs, timeout_s) for s in batch]
+            with multiprocessing.Pool(processes=min(workers, len(batch))) as pool:
+                # Unordered: records land (and persist) as soon as a worker
+                # finishes; canonical comparisons sort by scenario id anyway.
+                yield from pool.imap_unordered(_pool_entry, payloads, chunksize=1)
+
+    batch = todo
+    for attempt in range(2):
+        retries: List[Scenario] = []
+        by_id = {s.scenario_id: s for s in batch}
+        for record in _execute(batch):
+            error = record.get("error") or {}
+            if attempt == 0 and error.get("reason") == "timeout":
+                # Bounded retry: a first-attempt timeout gets exactly one
+                # more chance (a transiently-loaded host must not poison
+                # the store); only the retry's outcome is recorded.
+                summary.n_timeouts += 1
+                retries.append(by_id[record["id"]])
+            else:
                 _absorb(record)
+        if not retries:
+            break
+        batch = retries
     return summary

@@ -48,9 +48,14 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.runtime_faults import (
+        RuntimeFaultInjector,
+        RuntimeFaultPlan,
+        RuntimeRecoveryPolicy,
+    )
     from ..sim.tdg_accel import SubmissionModel
     from .prefetch import RuntimePrefetcher
 
@@ -73,7 +78,7 @@ from .graph import TaskGraph
 from .schedulers import FifoScheduler, Scheduler
 from .task import Task, TaskState
 
-__all__ = ["Runtime", "RunResult", "DeadlockError"]
+__all__ = ["Runtime", "RunResult", "DeadlockError", "AllCoresDeadError"]
 
 #: Dispatch instrumentation stride: with observability enabled, every
 #: wakeup is *counted*, but host-clock reads and queue-depth samples run
@@ -87,6 +92,16 @@ class DeadlockError(RuntimeError):
     """Event queue drained while unfinished tasks remain."""
 
 
+class AllCoresDeadError(DeadlockError):
+    """Every core fail-stopped while unfinished tasks remain.
+
+    The graceful-degradation limit of core-kill fault injection: with no
+    live core left, outstanding work can never run.  A subclass of
+    :class:`DeadlockError` because it is the same contract violation —
+    submitted tasks that cannot make progress — with a known cause.
+    """
+
+
 @dataclass
 class RunResult:
     """Summary of one simulated execution."""
@@ -97,6 +112,14 @@ class RunResult:
     n_tasks: int
     trace: Optional[TraceRecorder]
     stats: StatSet = field(default_factory=lambda: StatSet("run"))
+    #: Runtime fault-injection summary (all zero on fault-free runs):
+    #: planned faults that fired, task re-executions they forced, cores
+    #: permanently lost, and seconds of elapsed work discarded at kills
+    #: (net of checkpoint-salvaged work).
+    faults_fired: int = 0
+    tasks_reexecuted: int = 0
+    cores_lost: int = 0
+    recovery_s: float = 0.0
     #: Schema-versioned observability summary (``MetricsRegistry.summary``),
     #: or None when the run executed with observability disabled.  Purely
     #: observational: never part of record identity.
@@ -172,6 +195,20 @@ class Runtime:
         ``REPRO_DEP_BACKEND`` environment variable, then ``"numpy"``.
         Backends are bit-identical (pinned by the backend-equivalence
         suite); the choice only moves host time.
+    faults:
+        Optional :class:`~repro.resilience.runtime_faults.
+        RuntimeFaultPlan`: seeded runtime faults (task-kill /
+        core-kill) armed for the duration of each taskwait.  An empty
+        plan is equivalent to ``None`` — the fault machinery is never
+        constructed, so zero-fault configurations are bit-identical to
+        fault-free runs (the campaign acceptance contract).
+    recovery:
+        How killed tasks recover: a policy name from
+        :data:`~repro.resilience.runtime_faults.RECOVERY_POLICIES`
+        (``"reexec"`` / ``"reexec-elsewhere"`` / ``"task-checkpoint"``),
+        a :class:`~repro.resilience.runtime_faults.
+        RuntimeRecoveryPolicy` instance, or ``None`` for plain
+        re-execution.  Only meaningful with a non-empty ``faults`` plan.
     """
 
     def __init__(
@@ -189,6 +226,8 @@ class Runtime:
         prune_every: int = 0,
         obs: Optional[Metrics] = None,
         dep_backend: Optional[str] = None,
+        faults: Optional["RuntimeFaultPlan"] = None,
+        recovery: Union[str, "RuntimeRecoveryPolicy", None] = None,
     ) -> None:
         self.machine = machine
         self.obs = obs if obs is not None else get_active()
@@ -241,6 +280,26 @@ class Runtime:
                 "register fewer edges and would diverge"
             )
         self.prune_every = prune_every
+        # Runtime fault injection: only a *non-empty* plan constructs the
+        # injector.  ``None`` (or an empty plan) leaves every fault hook
+        # on the hot paths a single attribute-is-None probe, and — the
+        # campaign acceptance contract — makes zero-fault configurations
+        # take literally the fault-free code path.
+        self._fault_ctl: Optional["RuntimeFaultInjector"] = None
+        if faults is not None and len(faults):
+            from ..resilience.runtime_faults import (
+                RuntimeFaultInjector,
+                resolve_recovery,
+            )
+
+            self._fault_ctl = RuntimeFaultInjector(
+                self, faults, resolve_recovery(recovery)
+            )
+        elif isinstance(recovery, str):
+            # Catch the spelling mistake early even when no fault fires.
+            from ..resilience.runtime_faults import resolve_recovery
+
+            resolve_recovery(recovery)
         # Finished gids awaiting the next watermark prune (streaming mode).
         self._retired: List[int] = []
         # Gids whose deferred release (master-registration gate) is already
@@ -563,6 +622,7 @@ class Runtime:
             return
         scheduler = self.scheduler
         idle = self._idle_cores
+        ctl = self._fault_ctl
         still_idle: List[int] = []
         for pos, core_id in enumerate(idle):
             if not scheduler:
@@ -573,9 +633,33 @@ class Runtime:
             gid = scheduler.pop(core_id)
             if gid is None:
                 still_idle.append(core_id)
+            elif (
+                ctl is not None
+                and ctl.banned
+                and ctl.ban_blocks(gid, core_id)
+            ):
+                # reexec-elsewhere: this core killed the task; hand it
+                # back with a hint toward the next live core and leave
+                # the kill site idle this round.  Each core pops at most
+                # once per scan, so the re-push cannot loop.
+                still_idle.append(core_id)
+                scheduler.push(gid, hint_core=self._next_live_hint(core_id))
             else:
                 self._start(gid, core_id)
         self._idle_cores = still_idle
+
+    def _next_live_hint(self, core_id: int) -> int:
+        """First live core id after ``core_id`` (cyclic).
+
+        Only called with >= 2 live cores (the ban is waived otherwise),
+        so the scan always terminates on a different core.
+        """
+        cores = self.machine.cores
+        n = len(cores)
+        nxt = (core_id + 1) % n
+        while not cores[nxt].alive:
+            nxt = (nxt + 1) % n
+        return nxt
 
     def _start(self, gid: int, core_id: int) -> None:
         machine = self.machine
@@ -602,9 +686,16 @@ class Runtime:
                 "prefetch_hidden_seconds", task.mem_seconds - mem_seconds
             )
         body = task.cpu_cycles / freq_hz + mem_seconds
+        ctl = self._fault_ctl
+        if ctl is not None:
+            # Recovery accounting: re-execution penalty, checkpoint
+            # credit, per-start protection premium.
+            body = ctl.on_start(gid, body)
         end = now + stall + body
         graph.end_time[gid] = end
-        machine.sim.schedule_at(end, self._complete, gid)
+        completion = machine.sim.schedule_at(end, self._complete, gid)
+        if ctl is not None:
+            ctl.inflight[gid] = completion
         self.stats.add("tasks_started")
         if critical:
             self.stats.add("critical_tasks_started")
@@ -618,6 +709,11 @@ class Runtime:
         core = machine.cores[core_id]
         core.end_work(now)
         insort(self._idle_cores, core_id)
+        ctl = self._fault_ctl
+        if ctl is not None:
+            # The attempt survived to completion: drop its kill handle so
+            # a later fault can never cancel a fired event.
+            ctl.inflight.pop(gid, None)
         graph.state[gid] = TaskState.FINISHED
         self._any_finished = True
         self._unfinished -= 1
@@ -684,6 +780,92 @@ class Runtime:
             )
 
     # ------------------------------------------------------------------
+    # runtime fault injection (kill paths — called by the armed injector)
+    # ------------------------------------------------------------------
+    def _fault_kill_task(self, core_id: int) -> None:
+        """Abort the task running on ``core_id`` and requeue it.
+
+        The attempt's completion event is cancelled, the core is
+        returned to the idle set (its elapsed busy time and energy are
+        real — wasted work was still executed), and the gid re-enters
+        the ready set through the ordinary ``_make_ready`` path, so
+        re-dispatch happens in the same deferred batch as any other
+        wake-up at this timestamp.  Streaming safety: only FINISHED
+        gids are ever retired, so a killed task's graph handle is
+        always still live however aggressively ``prune_every`` prunes.
+        """
+        ctl = self._fault_ctl
+        if ctl is None:
+            raise RuntimeError("no fault plan armed")
+        machine = self.machine
+        graph = self.graph
+        now = machine.sim.now
+        core = machine.cores[core_id]
+        work = core.current_work
+        if not isinstance(work, Task):
+            raise RuntimeError(f"core {core_id} has no killable task")
+        gid = work.gid
+        if graph.state[gid] is not TaskState.RUNNING:
+            raise RuntimeError(
+                f"task gid={gid} is {graph.state[gid]}, not RUNNING"
+            )
+        completion = ctl.inflight.pop(gid, None)
+        if completion is None or not completion.pending:
+            raise RuntimeError(
+                f"task gid={gid} has no cancellable completion event"
+            )
+        completion.cancel()
+        core.end_work(now)
+        insort(self._idle_cores, core_id)
+        start = graph.start_time[gid]
+        end = graph.end_time[gid]
+        elapsed = now - start if start is not None else 0.0
+        planned = (
+            end - start
+            if end is not None and start is not None
+            else elapsed
+        )
+        saved = ctl.on_kill(gid, core_id, elapsed, planned)
+        stats = self.stats
+        stats.add("tasks_killed")
+        stats.add("tasks_reexecuted")
+        stats.add("recovery_s", elapsed - saved)
+        # Reset the lifecycle slots the attempt wrote; the retry's
+        # _start repopulates them.  State/ready_time are handled by
+        # _make_ready like any first-time wake-up.
+        graph.start_time[gid] = None
+        graph.end_time[gid] = None
+        work.core_id = None
+        self._make_ready(gid)
+
+    def _fault_kill_core(self, core_id: int) -> None:
+        """Fail-stop ``core_id``: kill its in-flight task, then remove
+        the core from dispatch forever (graceful degradation).
+
+        Raises :class:`AllCoresDeadError` when the last live core dies
+        with tasks outstanding — the one failure degradation cannot
+        absorb.
+        """
+        ctl = self._fault_ctl
+        if ctl is None:
+            raise RuntimeError("no fault plan armed")
+        machine = self.machine
+        core = machine.cores[core_id]
+        if not core.alive:
+            raise RuntimeError(f"core {core_id} is already dead")
+        if core.busy:
+            self._fault_kill_task(core_id)
+        if core_id in self._idle_cores:
+            self._idle_cores.remove(core_id)
+        core.fail(machine.sim.now)
+        self.stats.add("cores_lost")
+        if machine.n_live_cores == 0 and self._unfinished > 0:
+            raise AllCoresDeadError(
+                f"all {machine.n_cores} cores fail-stopped with "
+                f"{self._unfinished} tasks outstanding"
+            )
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def taskwait(self) -> None:
@@ -706,12 +888,32 @@ class Runtime:
             # sorting on every completion in the hot loop.
             self.graph.prepare_wake_order()
             self._prepared = True
-        while self._unfinished > 0:
-            if not sim.step():
-                raise DeadlockError(
-                    f"{self._unfinished} tasks cannot run; "
-                    "dependence cycle or missing submission"
-                )
+        ctl = self._fault_ctl
+        if ctl is not None:
+            # Arm (or re-arm, for a later streaming window) the fault
+            # plan for the duration of this wait.
+            ctl.arm()
+        try:
+            while self._unfinished > 0:
+                if not sim.step():
+                    msg = (
+                        f"{self._unfinished} tasks cannot run; "
+                        "dependence cycle or missing submission"
+                    )
+                    if ctl is not None:
+                        msg += (
+                            " (runtime faults armed: "
+                            f"{int(self.stats.get('cores_lost'))} cores "
+                            f"lost, {len(ctl.banned)} placement bans "
+                            "outstanding)"
+                        )
+                    raise DeadlockError(msg)
+        finally:
+            if ctl is not None:
+                # Faults planned beyond the makespan must not fire in the
+                # trailing drain and stretch the clock past the real
+                # finish time.
+                ctl.disarm()
         # Drain any trailing zero-work events (dispatches with empty queues).
         sim.run()
 
@@ -721,12 +923,17 @@ class Runtime:
         self.machine.finalize()
         makespan = self.machine.sim.now
         energy = self.machine.total_energy_j()
+        stats = self.stats
         result = RunResult(
             makespan=makespan,
             energy_j=energy,
             edp=energy * makespan,
             n_tasks=len(self.graph),
             trace=self.trace,
+            faults_fired=int(stats.get("runtime_faults_fired")),
+            tasks_reexecuted=int(stats.get("tasks_reexecuted")),
+            cores_lost=int(stats.get("cores_lost")),
+            recovery_s=stats.get("recovery_s"),
         )
         result.stats.merge(self.stats)
         if self.obs.enabled:
@@ -767,6 +974,19 @@ class Runtime:
             )
             obs_.counter_add("event_compactions", float(sim.queue.compactions))
             obs_.counter_add("events_processed", float(sim.events_processed))
+            if self._fault_ctl is not None:
+                stats = self.stats
+                obs_.counter_add(
+                    "runtime_faults_fired",
+                    stats.get("runtime_faults_fired"),
+                )
+                obs_.counter_add(
+                    "runtime_faults_noop", stats.get("runtime_faults_noop")
+                )
+                obs_.counter_add(
+                    "tasks_reexecuted", stats.get("tasks_reexecuted")
+                )
+                obs_.counter_add("cores_lost", stats.get("cores_lost"))
             obs_.gauge_sample(
                 "live_regions", float(tracker.live_regions), t=sim.now
             )

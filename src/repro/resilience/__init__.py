@@ -10,6 +10,19 @@ lossy restart, FEIR and task-overlapped AFEIR
 
 from .cg import CgRecord, CgResult, CgState, CgTiming, run_cg
 from .faults import DueEvent, FaultPlan, inject, plan_faults
+from .runtime_faults import (
+    RECOVERY_POLICIES,
+    ReexecElsewherePolicy,
+    ReexecLimitError,
+    ReexecPolicy,
+    RuntimeFault,
+    RuntimeFaultInjector,
+    RuntimeFaultPlan,
+    RuntimeRecoveryPolicy,
+    TaskCheckpointPolicy,
+    plan_runtime_faults,
+    resolve_recovery,
+)
 from .fig4 import (
     FIG4_SCHEMES,
     Fig4Setup,
@@ -40,6 +53,17 @@ __all__ = [
     "FaultPlan",
     "inject",
     "plan_faults",
+    "RECOVERY_POLICIES",
+    "ReexecElsewherePolicy",
+    "ReexecLimitError",
+    "ReexecPolicy",
+    "RuntimeFault",
+    "RuntimeFaultInjector",
+    "RuntimeFaultPlan",
+    "RuntimeRecoveryPolicy",
+    "TaskCheckpointPolicy",
+    "plan_runtime_faults",
+    "resolve_recovery",
     "FIG4_SCHEMES",
     "Fig4Setup",
     "ascii_plot",

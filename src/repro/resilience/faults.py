@@ -27,10 +27,69 @@ from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["DueEvent", "FaultPlan", "inject", "plan_faults"]
+__all__ = [
+    "DueEvent",
+    "FaultPlan",
+    "inject",
+    "plan_faults",
+    "draw_fault_times",
+]
 
 #: Fault-time distributions :func:`plan_faults` understands.
 DISTRIBUTIONS = ("uniform", "spaced", "poisson")
+
+
+def draw_fault_times(
+    rng: np.random.Generator,
+    *,
+    n_faults: Optional[int] = None,
+    rate: Optional[float] = None,
+    window: Tuple[float, float] = (0.0, 60.0),
+    distribution: str = "uniform",
+) -> list:
+    """Draw a sorted list of fault times from ``rng``.
+
+    The count/rate × uniform/spaced/poisson semantics shared by the
+    solver-level planner (:func:`plan_faults`) and the runtime-level
+    planner (:func:`repro.resilience.runtime_faults.plan_runtime_faults`):
+    exactly one of ``n_faults`` / ``rate`` selects the fault mass, and
+    the draw order is fixed (times first), so extracting this helper
+    keeps existing seeded plans bit-identical.
+    """
+    if (n_faults is None) == (rate is None):
+        raise ValueError("exactly one of n_faults / rate must be given")
+    t0, t1 = float(window[0]), float(window[1])
+    if t1 < t0:
+        raise ValueError(f"fault window end {t1} precedes start {t0}")
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown fault-time distribution {distribution!r}; "
+            f"choose from {DISTRIBUTIONS}"
+        )
+    if rate is not None:
+        if rate <= 0:
+            raise ValueError("fault rate must be positive")
+        times = []
+        t = t0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t > t1:
+                break
+            times.append(t)
+        return times
+    if n_faults < 0:
+        raise ValueError("n_faults must be non-negative")
+    if distribution == "poisson":
+        raise ValueError(
+            "distribution='poisson' draws its own count — give rate, "
+            "not n_faults"
+        )
+    if distribution == "spaced":
+        # Midpoint spacing: n equal slots, one fault centred in each,
+        # so plans for different n never share a time by accident.
+        step = (t1 - t0) / max(n_faults, 1)
+        return [t0 + (i + 0.5) * step for i in range(n_faults)]
+    return sorted(float(t) for t in rng.uniform(t0, t1, size=n_faults))
 
 
 @dataclass(frozen=True)
@@ -157,33 +216,13 @@ def plan_faults(
             f"choose from {DISTRIBUTIONS}"
         )
     rng = np.random.default_rng(seed)
-    if rate is not None:
-        if rate <= 0:
-            raise ValueError("fault rate must be positive")
-        times = []
-        t = t0
-        while True:
-            t += float(rng.exponential(1.0 / rate))
-            if t > t1:
-                break
-            times.append(t)
-    else:
-        if n_faults < 0:
-            raise ValueError("n_faults must be non-negative")
-        if distribution == "poisson":
-            raise ValueError(
-                "distribution='poisson' draws its own count — give rate, "
-                "not n_faults"
-            )
-        if distribution == "spaced":
-            # Midpoint spacing: n equal slots, one fault centred in each,
-            # so plans for different n never share a time by accident.
-            step = (t1 - t0) / max(n_faults, 1)
-            times = [t0 + (i + 0.5) * step for i in range(n_faults)]
-        else:
-            times = sorted(
-                float(t) for t in rng.uniform(t0, t1, size=n_faults)
-            )
+    times = draw_fault_times(
+        rng,
+        n_faults=n_faults,
+        rate=rate,
+        window=window,
+        distribution=distribution,
+    )
     starts = rng.integers(0, n_rows - block_len + 1, size=len(times))
     return FaultPlan(
         tuple(

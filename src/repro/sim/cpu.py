@@ -50,6 +50,8 @@ class Core:
         if not (0 <= self.level <= dvfs.max_level):
             raise ValueError(f"DVFS level {level} out of range")
         self.busy = False
+        #: fail-stop liveness: a dead core never accepts work again
+        self.alive = True
         self.energy = EnergyAccount()
         self.stats = StatSet(f"core{core_id}")
         self.freq_timeline = Timeline()
@@ -106,6 +108,8 @@ class Core:
     # transitions (driven by the runtime / DVFS controller)
     # ------------------------------------------------------------------
     def begin_work(self, now: float, work: object = None) -> None:
+        if not self.alive:
+            raise RuntimeError(f"core {self.core_id} is dead")
         if self.busy:
             raise RuntimeError(f"core {self.core_id} is already busy")
         self._integrate_to(now)
@@ -131,10 +135,31 @@ class Core:
             self.stats.add("dvfs_transitions")
             self.freq_timeline.record(now, self.frequency_ghz)
 
+    def fail(self, now: float) -> None:
+        """Fail-stop the core: no work may ever start here again.
+
+        The caller (the runtime's core-kill path) must abort any
+        in-flight task first — a busy core cannot die, because the
+        energy/stat accounting for the killed interval belongs to the
+        abort, not to the failure.  Dead cores stop drawing power: their
+        energy is integrated up to the failure instant and frozen.
+        """
+        if self.busy:
+            raise RuntimeError(
+                f"core {self.core_id} cannot fail while busy; "
+                "abort its task first"
+            )
+        if not self.alive:
+            raise RuntimeError(f"core {self.core_id} is already dead")
+        self._integrate_to(now)
+        self.alive = False
+        self.stats.add("failed")
+
     def finalize(self, now: float) -> None:
         """Integrate energy up to the end of the simulation."""
-        self._integrate_to(now)
+        if self.alive:
+            self._integrate_to(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "busy" if self.busy else "idle"
+        state = "dead" if not self.alive else "busy" if self.busy else "idle"
         return f"Core({self.core_id}, {self.frequency_ghz:.2f}GHz, {state})"

@@ -51,6 +51,15 @@ class Event:
             if self._queue is not None:
                 self._queue._note_cancel()
 
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued (not fired, not cancelled).
+
+        The runtime's abort-in-flight path uses this to assert a task's
+        completion event is actually cancellable before killing it.
+        """
+        return not self.cancelled and self._queue is not None
+
 
 class EventQueue:
     """Binary-heap priority queue of :class:`Event` with stable ordering.

@@ -73,7 +73,15 @@ class Machine:
         return self.sim.now
 
     def idle_cores(self) -> List[Core]:
-        return [c for c in self.cores if not c.busy]
+        return [c for c in self.cores if not c.busy and c.alive]
+
+    def live_cores(self) -> List[Core]:
+        """Cores that have not fail-stopped, in core-id order."""
+        return [c for c in self.cores if c.alive]
+
+    @property
+    def n_live_cores(self) -> int:
+        return sum(1 for c in self.cores if c.alive)
 
     def chip_power(self) -> float:
         """Instantaneous chip power at the cores' current states (watts)."""

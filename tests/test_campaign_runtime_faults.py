@@ -1,0 +1,185 @@
+"""The faulty campaign family: zero-fault equivalence + storm determinism.
+
+Acceptance contract of the runtime-fault axis behind the store:
+
+* A ``faulty:<policy>`` row with no fault knobs is the **zero-fault
+  control** — its standard metrics and stats are bit-identical to the
+  plain base-family row, so ``compare --tolerance 0`` semantics carry
+  over unchanged.
+* A fixed-seed fault storm replays **bit-identically** across worker
+  counts, shard layouts and resume — firings included.
+* Scenarios a fault plan makes unservable (static queues stranded by a
+  core-kill) fail into *deterministic* error records, not flaky ones.
+"""
+
+import pytest
+
+from repro.campaign import (
+    Matrix,
+    ResultStore,
+    Scenario,
+    build_preset,
+    compare_stores,
+    run_campaign,
+)
+from repro.campaign.presets import RUNTIME_RECOVERY_AXIS
+from repro.campaign.store import canonical_line
+
+#: Fault knobs sized for the scale-1 layered family on 8 cores
+#: (makespan ≈ 8.5 ms): every storm fault lands mid-run.
+STORM = (("fault_count", 3), ("fault_seed", 7), ("fault_window", 0.005))
+
+STANDARD_METRICS = ("makespan", "energy_j", "edp", "n_tasks")
+
+
+def faulty(policy, scheduler="fifo", extra=(), base="layered"):
+    return Scenario(
+        f"faulty:{policy}",
+        scheduler=scheduler,
+        n_cores=8,
+        scale=1,
+        seed=1,
+        params=(("base_family", base),) + tuple(extra),
+    )
+
+
+def storm_matrix():
+    """3 policies × 2 schedulers under the same 3-fault storm."""
+    scenarios = tuple(
+        faulty(policy, scheduler=sched, extra=STORM)
+        for policy in RUNTIME_RECOVERY_AXIS
+        for sched in ("fifo", "work_stealing")
+    )
+    return Matrix("storm", scenarios)
+
+
+class TestPresetShape:
+    def test_runtime_faults_sweep_registered(self):
+        matrix = build_preset("runtime_faults_sweep")
+        assert len(matrix) == 252
+        families = {s.family for s in matrix}
+        assert families == {
+            f"faulty:{p}" for p in RUNTIME_RECOVERY_AXIS
+        }
+        assert all(s.param("base_family") is not None for s in matrix)
+
+    def test_sweep_includes_zero_fault_controls_and_core_kills(self):
+        matrix = build_preset("runtime_faults_sweep")
+        controls = [
+            s for s in matrix if s.param("fault_count") is None
+            and s.param("fault_rate") is None
+        ]
+        core_kills = [s for s in matrix if s.param("core_kill_p") == 1.0]
+        assert controls and core_kills
+
+
+class TestZeroFaultEquivalence:
+    @pytest.mark.parametrize("policy", RUNTIME_RECOVERY_AXIS)
+    def test_control_row_matches_base_family_bitwise(self, policy):
+        """The acceptance gate: no fault knobs ⇒ the faulty record *is*
+        the base-family record (plus all-zero fault metrics)."""
+        control = faulty(policy)
+        base = Scenario(
+            "layered", scheduler="fifo", n_cores=8, scale=1, seed=1
+        )
+        fr = run_campaign(Matrix("ctl", (control,))).records[0]
+        br = run_campaign(Matrix("base", (base,))).records[0]
+        assert fr["status"] == br["status"] == "ok"
+        for key in STANDARD_METRICS:
+            assert fr["metrics"][key] == br["metrics"][key], key
+        assert fr["stats"] == br["stats"]
+        assert fr["metrics"]["faults_fired"] == 0
+        assert fr["metrics"]["cores_lost"] == 0
+        assert fr["metrics"]["recovery_s"] == 0.0
+
+    def test_unknown_base_family_is_an_error_record(self):
+        record = run_campaign(
+            Matrix(
+                "bad",
+                (faulty("reexec", base="not-a-family"),),
+            )
+        ).records[0]
+        assert record["status"] == "error"
+        assert "base_family" in record["error"]["message"]
+
+
+class TestStormDeterminism:
+    def test_storm_actually_fires(self):
+        records = run_campaign(storm_matrix()).records
+        assert all(r["status"] == "ok" for r in records)
+        for r in records:
+            assert r["metrics"]["faults_fired"] == 3
+            assert r["metrics"]["tasks_reexecuted"] >= 1
+            assert r["metrics"]["recovery_s"] > 0.0
+
+    def test_1_vs_4_workers_identical_records(self, tmp_path):
+        serial = ResultStore(str(tmp_path / "serial.jsonl"))
+        parallel = ResultStore(str(tmp_path / "parallel.jsonl"))
+        run_campaign(storm_matrix(), store=serial, workers=1)
+        run_campaign(storm_matrix(), store=parallel, workers=4)
+        lines = serial.canonical_lines()
+        assert len(lines) == 6
+        assert lines == parallel.canonical_lines()
+
+    def test_sharded_union_equals_whole(self):
+        whole = run_campaign(storm_matrix())
+        parts = []
+        for i in range(3):
+            parts.extend(
+                run_campaign(storm_matrix(), shard=(i, 3)).records
+            )
+        assert sorted(canonical_line(r) for r in parts) == sorted(
+            canonical_line(r) for r in whole.records
+        )
+
+    def test_resumed_store_equals_single_pass_store(self, tmp_path):
+        resumed = ResultStore(str(tmp_path / "resumed.jsonl"))
+        first = run_campaign(storm_matrix(), store=resumed, shard=(0, 2))
+        second = run_campaign(storm_matrix(), store=resumed)
+        assert second.n_skipped == first.n_run
+        single = ResultStore(str(tmp_path / "single.jsonl"))
+        run_campaign(storm_matrix(), store=single)
+        assert resumed.canonical_lines() == single.canonical_lines()
+
+    def test_self_compare_at_zero_tolerance_is_clean(self, tmp_path):
+        a = ResultStore(str(tmp_path / "a.jsonl"))
+        b = ResultStore(str(tmp_path / "b.jsonl"))
+        run_campaign(storm_matrix(), store=a, workers=2)
+        run_campaign(storm_matrix(), store=b, workers=2)
+        outcome = compare_stores(a, b, tolerance=0.0)
+        assert outcome.ok, outcome.describe()
+        assert outcome.n_compared == 6
+
+    def test_fault_knobs_are_part_of_the_scenario_id(self):
+        knobs = [
+            (),
+            STORM,
+            (("fault_count", 3), ("fault_seed", 8), ("fault_window", 0.005)),
+            STORM + (("core_kill_p", 1.0),),
+        ]
+        ids = {faulty("reexec", extra=k).scenario_id for k in knobs}
+        assert len(ids) == len(knobs)
+
+
+class TestDeterministicFailures:
+    def test_static_core_kill_errors_reproduce_bitwise(self):
+        """A core-kill stranding a static scheduler's queue must be the
+        *same* clear error record every time, not a flaky outcome."""
+        scenario = faulty(
+            "reexec",
+            scheduler="static",
+            extra=(
+                ("fault_count", 1),
+                ("fault_window", 0.005),
+                ("core_kill_p", 1.0),
+            ),
+        )
+        matrix = Matrix("strand", (scenario,))
+        first = run_campaign(matrix).records[0]
+        again = run_campaign(matrix).records[0]
+        assert first["status"] == "error"
+        assert first["error"]["type"] in (
+            "DeadlockError", "AllCoresDeadError"
+        )
+        assert "runtime faults armed" in first["error"]["message"]
+        assert canonical_line(first) == canonical_line(again)

@@ -1,0 +1,114 @@
+"""Per-scenario wall-clock timeouts: hung scenarios become records.
+
+The harness-robustness satellite: a scenario that wedges (here the
+deliberately-hanging ``debug:*`` families) is interrupted in its worker
+after ``timeout_s``, retried exactly once, and — if it hangs again —
+lands in the store as an ``error`` record with ``reason: "timeout"``
+instead of stalling the campaign forever.
+"""
+
+import pytest
+
+from repro.campaign import Matrix, ResultStore, Scenario, run_campaign
+from repro.campaign.runner import ScenarioTimeout, run_scenario
+from repro.campaign.store import canonical_line
+
+#: Short enough to keep the suite fast, long enough that a healthy
+#: scenario (≈10 ms) never trips it even on a loaded CI host.
+BUDGET = 0.25
+
+
+def hang(**extra_params):
+    return Scenario("debug:hang", n_cores=2, params=tuple(extra_params.items()))
+
+
+def healthy(seed=0):
+    return Scenario("layered", scheduler="fifo", n_cores=4, scale=1, seed=seed)
+
+
+class TestSerialPath:
+    def test_hang_times_out_into_an_error_record(self):
+        summary = run_campaign(
+            Matrix("hang", (hang(),)), timeout_s=BUDGET
+        )
+        assert summary.n_errors == 1 and summary.n_ok == 0
+        assert summary.n_timeouts == 1  # first attempt retried once
+        record = summary.records[0]
+        assert record["status"] == "error"
+        assert record["error"]["reason"] == "timeout"
+        assert record["error"]["type"] == "ScenarioTimeout"
+        assert "retried" in summary.describe()
+
+    def test_hang_once_recovers_on_the_bounded_retry(self, tmp_path):
+        """First attempt hangs (and marks the sentinel), the retry runs
+        clean — the transient-wedge recovery path."""
+        sentinel = str(tmp_path / "first-attempt-marker")
+        scenario = Scenario(
+            "debug:hang_once", n_cores=2, params=(("sentinel", sentinel),)
+        )
+        summary = run_campaign(
+            Matrix("hang_once", (scenario,)), timeout_s=BUDGET
+        )
+        assert summary.n_timeouts == 1
+        assert summary.n_ok == 1 and summary.n_errors == 0
+        assert summary.records[0]["status"] == "ok"
+
+    def test_no_timeout_means_no_interruption(self):
+        summary = run_campaign(Matrix("ok", (healthy(),)))
+        assert summary.n_ok == 1 and summary.n_timeouts == 0
+
+    def test_scenario_timeout_is_exported(self):
+        from repro.campaign import runner
+
+        assert "ScenarioTimeout" in runner.__all__
+        assert issubclass(ScenarioTimeout, RuntimeError)
+
+
+class TestPoolPath:
+    def test_hang_amid_healthy_scenarios(self, tmp_path):
+        """One wedged worker must not take the campaign down: healthy
+        siblings complete, the hang becomes a timeout record."""
+        store = ResultStore(str(tmp_path / "mixed.jsonl"))
+        matrix = Matrix(
+            "mixed", (healthy(seed=0), hang(), healthy(seed=1))
+        )
+        summary = run_campaign(
+            matrix, store=store, workers=3, timeout_s=BUDGET
+        )
+        assert summary.n_ok == 2
+        assert summary.n_errors == 1
+        assert summary.n_timeouts == 1
+        by_status = {r["status"] for r in store.records()}
+        assert by_status == {"ok", "error"}
+
+    def test_timeout_budget_does_not_change_record_content(self, tmp_path):
+        """The deadline is harness-side only: a healthy scenario's record
+        is bit-identical with and without a generous budget."""
+        guarded = run_campaign(
+            Matrix("one", (healthy(),)), timeout_s=30.0
+        ).records[0]
+        free = run_campaign(Matrix("one", (healthy(),))).records[0]
+        assert canonical_line(guarded) == canonical_line(free)
+
+
+class TestDebugFamilies:
+    def test_debug_families_are_not_in_any_preset(self):
+        from repro.campaign.presets import PRESETS, build_preset
+
+        for name in PRESETS:
+            assert not any(
+                s.family.startswith("debug:") for s in build_preset(name)
+            ), name
+
+    def test_unknown_debug_family_raises(self):
+        record = run_scenario(Scenario("debug:explode"))
+        assert record["status"] == "error"
+        assert "unknown debug family" in record["error"]["message"]
+
+    def test_timeout_runs_without_store_and_with_zero_budget(self):
+        # timeout_s=0 / None both mean "never interrupt".
+        for budget in (None, 0, -1.0):
+            summary = run_campaign(
+                Matrix("ok", (healthy(),)), timeout_s=budget
+            )
+            assert summary.n_ok == 1

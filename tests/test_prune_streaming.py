@@ -321,6 +321,90 @@ def test_prune_drops_last_writer_strong_ref_but_keeps_edge():
     rt.tracker.invalidate_region_caches()
 
 
+# ----------------------------------------------------------------------
+# runtime faults × pruning: killed tasks must survive the watermark
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "policy", ["reexec", "reexec-elsewhere", "task-checkpoint"]
+)
+def test_fault_recovery_prune_equivalence(policy):
+    """Every recovery policy × prune_every ∈ {off, 1, 64} is bit-identical.
+
+    The bug class this pins: a killed task's gid re-enters the ready set
+    *after* completions have already streamed past the watermark — if
+    pruning could retire a killed (non-FINISHED) task, its re-dispatch
+    would crash or silently diverge.  ``prune_every=1`` is the most
+    hostile setting: a prune pass runs after every single completion.
+    """
+    from repro.resilience import plan_runtime_faults
+
+    # Size the fault window off the fault-free streaming makespan so the
+    # storm lands mid-run for every prune setting.
+    probe = _stream(prune_every=0, windows=3)
+    horizon = probe.machine.sim.now
+    probe.tracker.invalidate_region_caches()
+    plan = plan_runtime_faults(seed=5, n_faults=3, window=(0.0, horizon))
+
+    def run(prune_every):
+        rt = Runtime(
+            Machine(4, initial_level=2),
+            record_trace=False,
+            prune_every=prune_every,
+            faults=plan,
+            recovery=policy,
+        )
+        for w in range(3):
+            rt.submit_all(stream_window(w, n_buffers=16, n_tasks=64, seed=5))
+            rt.taskwait()
+        rt.tracker.invalidate_region_caches()
+        return {
+            "makespan": rt.machine.sim.now,
+            "stats": rt.stats.as_dict(),
+            "depth": list(rt.graph.depth),
+        }
+
+    baseline = run(0)
+    assert baseline["stats"].get("tasks_killed", 0) >= 1
+    for prune_every in (1, 64):
+        pruned = run(prune_every)
+        assert pruned["makespan"] == baseline["makespan"], prune_every
+        assert pruned["depth"] == baseline["depth"], prune_every
+        shared = {
+            k: v
+            for k, v in pruned["stats"].items()
+            if k in baseline["stats"]
+        }
+        assert shared == baseline["stats"], prune_every
+
+
+def test_killed_task_survives_aggressive_pruning():
+    """Direct pruned-then-killed probe: with ``prune_every=1`` the prune
+    pass runs between the kill and the retry — the killed gid's handle
+    must still be live for re-dispatch, and only FINISHED work retires."""
+    from repro.core.task import Task
+    from repro.resilience import RuntimeFault, RuntimeFaultPlan
+
+    machine = Machine(1, initial_level=2)
+    body = 1e9 / machine.cores[0].frequency_hz
+    rt = Runtime(
+        machine,
+        record_trace=False,
+        prune_every=1,
+        # Short filler tasks finish (and trigger prunes) before the
+        # fault kills the long task mid-flight.
+        faults=RuntimeFaultPlan.single(RuntimeFault(body * 0.9)),
+        recovery="reexec",
+    )
+    fillers = [Task.make(f"f{i}", cpu_cycles=1e8) for i in range(4)]
+    rt.submit_all(fillers)
+    victim = rt.submit(Task.make("victim", cpu_cycles=1e9))
+    result = rt.run()
+    assert result.tasks_reexecuted == 1
+    assert rt.stats.get("tasks_retired") == 5  # fillers + retried victim
+    assert victim.state.name == "FINISHED"
+    rt.tracker.invalidate_region_caches()
+
+
 def test_detached_prune_keeps_task_refs():
     """Standalone (graphless) tracker use: pruning must keep detached
     last-writer Task objects, because there is no graph to resolve gids."""
